@@ -1,0 +1,92 @@
+"""Ablation — gradient sparsity and the cost of (in)consistency.
+
+HOGWILD! [36] was designed for *sparse* problems, where concurrent
+component-wise updates rarely collide; the paper's contribution is aimed
+at *dense* DL models where they always do. This ablation runs the
+algorithms on both regimes:
+
+* sparse L2-logistic regression (HOGWILD!'s home turf): HOGWILD! is
+  essentially unpenalized and its throughput advantage shows;
+* the dense uniform quadratic: HOGWILD!'s torn views carry real
+  inconsistency, and the coherence traffic of write-sharing costs it
+  the advantage — the regime motivating Leashed-SGD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import QuadraticProblem, SparseLogisticProblem
+from repro.harness.config import RunConfig
+from repro.harness.runner import run_once
+from repro.sim.cost import CostModel
+from repro.utils.tables import render_table
+
+COST = CostModel(tc=4e-3, tu=1.5e-3, t_copy=0.7e-3)
+
+
+def _run(problem, algorithm, *, eta, m=12, seed=23, target=0.6):
+    return run_once(
+        problem, COST,
+        RunConfig(algorithm=algorithm, m=m, eta=eta, seed=seed,
+                  epsilons=(0.9, target), target_epsilon=target,
+                  max_updates=60_000, max_virtual_time=300.0,
+                  max_wall_seconds=90.0),
+    )
+
+
+def test_ablation_sparsity(benchmark):
+    def sweep():
+        rows, out = [], {}
+        sparse = SparseLogisticProblem(
+            d=2048, n_samples=4096, nnz_per_sample=8, batch_size=16, seed=3
+        )
+        dense = QuadraticProblem(2048, h=1.0, b=1.5, noise_sigma=0.1)
+        for regime, problem, eta, target in (
+            ("sparse", sparse, 0.5, 0.75),
+            ("dense", dense, 0.05, 0.05),
+        ):
+            for algorithm in ("HOG", "LSH_psinf"):
+                result = _run(problem, algorithm, eta=eta, target=target)
+                out[(regime, algorithm)] = result
+                rows.append(
+                    [regime, algorithm, result.status.value,
+                     f"{result.time_to(target):.4g}",
+                     f"{result.time_per_update * 1e3:.3f}"]
+                )
+        print("\n" + render_table(
+            ["regime", "algorithm", "status", "t(target) [vs]", "ms/update"],
+            rows, title="Sparse vs dense: where HOGWILD! wins and loses (m=12)",
+        ))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # Both converge in both regimes at these settings...
+    for key, result in out.items():
+        assert result.status.value == "converged", f"{key} failed"
+    # ...but the regimes order the two algorithms oppositely:
+    sparse_ratio = (
+        out[("sparse", "HOG")].time_to(0.75) / out[("sparse", "LSH_psinf")].time_to(0.75)
+    )
+    dense_ratio = (
+        out[("dense", "HOG")].time_to(0.05) / out[("dense", "LSH_psinf")].time_to(0.05)
+    )
+    assert sparse_ratio < dense_ratio, (
+        f"HOGWILD!'s relative standing should be better on sparse problems "
+        f"(sparse ratio {sparse_ratio:.2f} vs dense {dense_ratio:.2f})"
+    )
+
+
+def test_ablation_sparse_collisions_are_rare():
+    """Direct check of the sparsity mechanism: with nnz << d, concurrent
+    updates touch mostly disjoint coordinates, so even HOGWILD!'s torn
+    views change few coordinates mid-read."""
+    problem = SparseLogisticProblem(d=4096, n_samples=2048, nnz_per_sample=4,
+                                    batch_size=8, seed=9)
+    result = _run(problem, "HOG", eta=0.5, target=0.75)
+    assert result.status.value == "converged"
+    # Sparse gradients: statistical efficiency at m=12 stays within a
+    # small factor of what a single worker needs.
+    single = _run(problem, "SEQ", eta=0.5, m=1, target=0.75)
+    assert result.updates_to(0.75) < 4.0 * single.updates_to(0.75)

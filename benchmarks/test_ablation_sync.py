@@ -1,0 +1,106 @@
+"""Ablation — synchronous vs asynchronous parallelization (Section I).
+
+The paper motivates AsyncSGD by SyncSGD's lock-step pacing: "its
+scalability suffers as every step is limited by the slowest contributing
+thread". This ablation runs the extra SyncSGD comparator (barrier +
+gradient averaging, `repro.core.sync_sgd`) against Leashed-SGD under the
+scheduler's heterogeneous thread speeds and verifies the claim, plus the
+staleness-adaptive extension the paper cites as complementary ([4]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import QuadraticProblem
+from repro.harness.config import RunConfig
+from repro.harness.runner import run_once
+from repro.sim.cost import CostModel
+from repro.utils.tables import render_table
+
+COST = CostModel(tc=5e-3, tu=1e-3, t_copy=0.5e-3)
+
+
+def _run(algorithm, m=12, seed=17, eta=0.05, speed_spread=0.2):
+    problem = QuadraticProblem(128, h=1.0, b=2.0, noise_sigma=0.1)
+    return run_once(
+        problem, COST,
+        RunConfig(algorithm=algorithm, m=m, eta=eta, seed=seed,
+                  epsilons=(0.5, 0.01), target_epsilon=0.01,
+                  max_updates=100_000, max_virtual_time=200.0,
+                  max_wall_seconds=60.0,
+                  speed_spread_sigma=speed_spread),
+    )
+
+
+def test_ablation_sync_vs_async(benchmark):
+    def sweep():
+        rows, out = [], {}
+        for algorithm in ("SYNC", "ASYNC", "LSH_psinf", "LSH_ADAPT_psinf"):
+            result = _run(algorithm)
+            out[algorithm] = result
+            rows.append(
+                [algorithm, result.status.value, f"{result.time_to(0.01):.4f}",
+                 result.n_updates, f"{result.time_per_update * 1e3:.3f}",
+                 f"{result.staleness['mean']:.1f}"]
+            )
+        print("\n" + render_table(
+            ["algorithm", "status", "t(1%) [vs]", "updates", "ms/update", "mean tau"],
+            rows, title="Sync vs async under heterogeneous thread speeds (m=12)",
+        ))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert out["SYNC"].status.value == "converged"
+    # The straggler effect: SyncSGD's update rate trails Leashed-SGD's.
+    sync_rate = out["SYNC"].n_updates / out["SYNC"].virtual_time
+    lsh_rate = out["LSH_psinf"].n_updates / out["LSH_psinf"].virtual_time
+    assert lsh_rate > sync_rate * 1.5, (
+        f"async should publish much faster (LSH {lsh_rate:.0f}/s vs SYNC {sync_rate:.0f}/s)"
+    )
+
+
+def test_ablation_sync_has_zero_staleness():
+    result = _run("SYNC", m=6)
+    assert result.staleness["max"] == 0
+
+
+def test_ablation_straggler_sensitivity(benchmark):
+    """SyncSGD's per-round time grows with the speed spread; Leashed-SGD
+    barely notices."""
+    def sweep():
+        rows, out = [], {}
+        for spread in (0.0, 0.4):
+            sync = _run("SYNC", speed_spread=spread)
+            lsh = _run("LSH_psinf", speed_spread=spread)
+            out[spread] = (sync, lsh)
+            rows.append(
+                [spread, f"{sync.time_per_update * 1e3:.2f}", f"{lsh.time_per_update * 1e3:.2f}"]
+            )
+        print("\n" + render_table(
+            ["speed spread sigma", "SYNC ms/update", "LSH ms/update"],
+            rows, title="Straggler sensitivity (m=12)",
+        ))
+        return out
+
+    out = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    sync_slowdown = out[0.4][0].time_per_update / out[0.0][0].time_per_update
+    lsh_slowdown = out[0.4][1].time_per_update / out[0.0][1].time_per_update
+    assert sync_slowdown > lsh_slowdown, (
+        f"stragglers should hurt SYNC more (x{sync_slowdown:.2f} vs x{lsh_slowdown:.2f})"
+    )
+
+
+def test_ablation_adaptive_extends_stable_eta_range():
+    """The staleness-adaptive extension tolerates a step size at which
+    plain Leashed-SGD is unstable (cf. [4]): at eta=0.6 with m=12 and
+    tau ~ m, the accumulated stale steps blow plain Leashed-SGD up,
+    while the inverse-staleness damping keeps the adaptive variant on a
+    convergent trajectory."""
+    eta = 0.6
+    plain = _run("LSH_psinf", eta=eta)
+    adaptive = _run("LSH_ADAPT_psinf", eta=eta)
+    assert plain.status.value in ("crashed", "diverged")
+    assert adaptive.status.value == "converged"
+    assert np.isfinite(adaptive.report.final_loss)

@@ -1,0 +1,62 @@
+"""Fig. 4 — high-precision epsilon-convergence box plots: MLP at m=16
+(left; paper S2) and under high parallelism m in {34, 68} (middle/right;
+paper S4).
+
+Paper's shape: at m=16 Leashed-SGD converges at least as fast as the
+baselines with smaller fluctuations; at maximum parallelism the
+baselines accumulate Diverge/Crash outcomes while Leashed-SGD still
+reaches the target.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness.experiments import s2_high_precision, s4_high_parallelism
+
+
+def test_fig4_left_m16(benchmark, workloads, run_cached):
+    result = benchmark.pedantic(
+        lambda: run_cached("s2", lambda: s2_high_precision(workloads)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    # Every algorithm must produce box data at the coarsest threshold.
+    eps = max(result.data["per_eps"])
+    boxes = result.data["per_eps"][eps]["boxes"]
+    assert all(len(v) > 0 for v in boxes.values())
+
+
+def test_fig4_leashed_competitive_at_m16(workloads, run_cached):
+    """Paper: LSH reaches high precision within ~baseline time (median),
+    often faster."""
+    result = run_cached("s2", lambda: s2_high_precision(workloads))
+    eps = min(result.data["per_eps"])  # the high-precision target
+    boxes = result.data["per_eps"][eps]["boxes"]
+    lsh = [np.median(boxes[a]) for a in boxes if a.startswith("LSH") and boxes[a]]
+    base = [np.median(boxes[a]) for a in ("ASYNC", "HOG") if boxes.get(a)]
+    assert lsh, "no Leashed-SGD run reached the high-precision target"
+    if base:
+        assert min(lsh) < 1.5 * min(base)
+
+
+def test_fig4_high_parallelism(benchmark, workloads, run_cached, profile):
+    result = benchmark.pedantic(
+        lambda: run_cached("s4", lambda: s4_high_parallelism(workloads)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    m_max = max(profile.high_parallelism)
+    part = result.data[f"S4/m={m_max}"]
+    # The paper's claim is at eps=50%: "no baseline execution managed to
+    # reach eps=50% of the error at initialization" at max parallelism.
+    eps = 0.5 if 0.5 in part["per_eps"] else min(part["per_eps"])
+    boxes = part["per_eps"][eps]["boxes"]
+    failures = part["per_eps"][eps]["failures"]
+    lsh_ok = sum(len(boxes.get(a, [])) for a in ("LSH_psinf", "LSH_ps1", "LSH_ps0"))
+    assert lsh_ok > 0, f"Leashed-SGD should reach eps={eps} at m={m_max}"
+    base_fail = sum(sum(failures.get(a, (0, 0))) for a in ("ASYNC", "HOG"))
+    base_ok = sum(len(boxes.get(a, [])) for a in ("ASYNC", "HOG"))
+    assert base_fail >= base_ok, "baselines should mostly fail at max parallelism"

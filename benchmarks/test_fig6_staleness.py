@@ -1,0 +1,61 @@
+"""Fig. 6 — staleness distributions for MLP at m=16 and under high
+parallelism (from the cached S2/S4 experiments).
+
+Paper's shape: the persistence bound clearly reduces the staleness
+distribution (ps0 < ps1 < psinf); the baselines sit at overall higher
+staleness, ASYNC with high irregularity from lock contention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness.experiments import s2_high_precision, s4_high_parallelism
+
+
+def _mean_tau(result_data, algorithm) -> float:
+    pooled = result_data["staleness"][algorithm]
+    return float(pooled.mean()) if pooled.size else float("nan")
+
+
+def test_fig6_m16_staleness(benchmark, workloads, run_cached):
+    result = benchmark.pedantic(
+        lambda: run_cached("s2", lambda: s2_high_precision(workloads)),
+        rounds=1, iterations=1,
+    )
+    print("\n===== Fig 6 (left): staleness, m=16 =====")
+    print(result.text.split("Staleness distribution")[-1])
+    tau_ps0 = _mean_tau(result.data, "LSH_ps0")
+    tau_psinf = _mean_tau(result.data, "LSH_psinf")
+    assert tau_ps0 < tau_psinf, (
+        f"persistence bound must reduce staleness (ps0 {tau_ps0:.2f} "
+        f"vs psinf {tau_psinf:.2f})"
+    )
+
+
+def test_fig6_persistence_ladder(workloads, run_cached):
+    result = run_cached("s2", lambda: s2_high_precision(workloads))
+    tau = {a: _mean_tau(result.data, a) for a in ("LSH_ps0", "LSH_ps1", "LSH_psinf")}
+    assert tau["LSH_ps0"] <= tau["LSH_ps1"] * 1.25  # ladder holds (with slack)
+    assert tau["LSH_ps1"] < tau["LSH_psinf"] * 1.25
+
+
+def test_fig6_staleness_grows_with_parallelism(workloads, run_cached, profile):
+    s2 = run_cached("s2", lambda: s2_high_precision(workloads))
+    s4 = run_cached("s4", lambda: s4_high_parallelism(workloads))
+    m_max = max(profile.high_parallelism)
+    for algorithm in ("HOG",):
+        low = _mean_tau(s2.data, algorithm)
+        high = _mean_tau(s4.data[f"S4/m={m_max}"], algorithm)
+        assert high > low, f"{algorithm}: staleness should grow with m"
+
+
+def test_fig6_baselines_higher_staleness_at_max_m(workloads, run_cached, profile):
+    s4 = run_cached("s4", lambda: s4_high_parallelism(workloads))
+    m_max = max(profile.high_parallelism)
+    data = s4.data[f"S4/m={m_max}"]
+    tau_hog = _mean_tau(data, "HOG")
+    tau_ps0 = _mean_tau(data, "LSH_ps0")
+    assert tau_ps0 < tau_hog, "LSH_ps0 must show lower staleness than HOGWILD! at max m"

@@ -1,0 +1,89 @@
+"""Fig. 7 — CNN (Table III, d=27,354) at m=16: epsilon-convergence to
+increasing precision, training progress, and staleness.
+
+Paper's shape: Leashed-SGD consistently improves the convergence rate
+(up to 4x on the best runs) with fewer diverging executions; because of
+the CNN's high T_c/T_u ratio there is little contention, so the
+staleness distributions of all algorithms are similar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness.experiments import s3_cnn
+
+
+def test_fig7_regenerates(benchmark, workloads, run_cached):
+    result = benchmark.pedantic(
+        lambda: run_cached("s3", lambda: s3_cnn(workloads)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert result.runs
+    # The paper's Fig 7 itself shows diverging baseline executions on
+    # the CNN; require box data for every Leashed variant and for most
+    # algorithms overall, not for every baseline.
+    eps = max(result.data["per_eps"])
+    boxes = result.data["per_eps"][eps]["boxes"]
+    lsh_with_data = [a for a in boxes if a.startswith("LSH") and boxes[a]]
+    assert len(lsh_with_data) >= 3
+    assert sum(1 for v in boxes.values() if v) >= 3
+
+
+def test_fig7_leashed_competitive(workloads, run_cached):
+    result = run_cached("s3", lambda: s3_cnn(workloads))
+    eps = min(result.data["per_eps"])
+    boxes = result.data["per_eps"][eps]["boxes"]
+    lsh_medians = [np.median(boxes[a]) for a in boxes if a.startswith("LSH") and boxes[a]]
+    base_medians = [np.median(boxes[a]) for a in ("ASYNC", "HOG") if boxes.get(a)]
+    assert lsh_medians, "no Leashed-SGD run converged on CNN"
+    if base_medians:
+        assert min(lsh_medians) <= 1.25 * min(base_medians), (
+            "Leashed-SGD should be at least competitive on CNN"
+        )
+
+
+def test_fig7_cnn_staleness_similar_across_algorithms(workloads, run_cached):
+    """Appendix: with high T_c/T_u the contention-regulation does not
+    kick in, so LSH staleness is close to the baselines'."""
+    result = run_cached("s3", lambda: s3_cnn(workloads))
+    stale = result.data["staleness"]
+    means = {a: (v.mean() if v.size else np.nan) for a, v in stale.items()}
+    finite = {a: v for a, v in means.items() if np.isfinite(v)}
+    assert finite
+    hog = finite.get("HOG")
+    psinf = finite.get("LSH_psinf")
+    if hog is not None and psinf is not None and hog > 0:
+        assert 0.3 < psinf / hog < 3.0, (
+            f"CNN staleness should be similar across algorithms "
+            f"(LSH_psinf {psinf:.2f} vs HOG {hog:.2f})"
+        )
+
+
+def test_fig7_progress_curves_descend(workloads, run_cached):
+    """Per-run training progress: the paper's Fig 7 (middle) shows the
+    CNN training (with some diverging executions — their Diverge marks).
+    Check descent per *run*: LSH_ps0 — the configuration the paper
+    highlights — must descend in every repeat, and a sizable fraction of
+    all runs must train. (The median-over-repeats curve can be flat for
+    an algorithm whose majority of repeats diverge, which the quick
+    profile's small CNN batch makes common for the unregulated
+    algorithms.)"""
+    result = run_cached("s3", lambda: s3_cnn(workloads))
+
+    def run_descended(r):
+        loss = np.asarray(r.report.curve_loss, dtype=float)
+        finite = loss[np.isfinite(loss)]
+        return finite.size >= 2 and finite.min() < 0.75 * finite[0]
+
+    by_alg: dict[str, list[bool]] = {}
+    for r in result.runs:
+        by_alg.setdefault(r.config.algorithm, []).append(run_descended(r))
+    assert all(by_alg["LSH_ps0"]), "LSH_ps0 must train the CNN in every repeat"
+    total = [d for flags in by_alg.values() for d in flags]
+    assert sum(total) / len(total) >= 0.4, (
+        f"too few CNN runs trained: {sum(total)}/{len(total)}"
+    )

@@ -1,0 +1,65 @@
+"""Fig. 8 — step-size tuning (left) and statistical efficiency (right),
+MLP at m=16.
+
+Paper's shape: the baselines have a sweet spot (their best step size is
+the yardstick used everywhere else) and fail for larger eta, while
+Leashed-SGD tolerates a wider step-size range — reduced dependence on
+hyper-parameter tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.harness.experiments import s1_stepsize
+
+
+def test_fig8_regenerates(benchmark, workloads, run_cached):
+    result = benchmark.pedantic(
+        lambda: run_cached("s1_eta", lambda: s1_stepsize(workloads)),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    assert result.data["boxes"]
+
+
+def _successes_per_eta(result, algorithm):
+    out = {}
+    for label, values in result.data["boxes"].items():
+        alg, eta_part = label.split("/eta=")
+        if alg == algorithm:
+            out[float(eta_part)] = len(values)
+    return out
+
+
+def test_fig8_leashed_tolerates_larger_eta(workloads, run_cached, profile):
+    result = run_cached("s1_eta", lambda: s1_stepsize(workloads))
+    biggest = max(profile.step_sizes)
+    base_ok = sum(_successes_per_eta(result, a).get(biggest, 0) for a in ("ASYNC", "HOG"))
+    lsh_ok = sum(
+        _successes_per_eta(result, a).get(biggest, 0)
+        for a in ("LSH_psinf", "LSH_ps1", "LSH_ps0")
+    )
+    assert lsh_ok > base_ok, (
+        f"at eta={biggest} Leashed-SGD should succeed more often "
+        f"(LSH {lsh_ok} vs baselines {base_ok})"
+    )
+
+
+def test_fig8_default_eta_works_for_baselines(workloads, run_cached, profile):
+    """The yardstick eta must be one where the baselines do converge at
+    m=16 — that is how the paper picked it."""
+    result = run_cached("s1_eta", lambda: s1_stepsize(workloads))
+    eta = profile.default_eta
+    for algorithm in ("ASYNC", "HOG"):
+        ok = _successes_per_eta(result, algorithm).get(eta, 0)
+        assert ok > 0, f"{algorithm} should converge at the yardstick eta={eta}"
+
+
+def test_fig8_statistical_efficiency_reported(workloads, run_cached):
+    result = run_cached("s1_eta", lambda: s1_stepsize(workloads))
+    eff = result.data["statistical_efficiency"]
+    converged = [v for values in eff.values() for v in values]
+    assert converged and all(v > 0 for v in converged)

@@ -1,0 +1,71 @@
+"""Fig. 9 — gradient-computation and update times (T_c, T_u) for MLP
+and CNN, *measured for real* on this machine's NumPy kernels via
+calibrate_cost_model, alongside the simulator's paper-regime defaults.
+
+Paper's shape (Appendix): despite its lower dimensionality the CNN has
+the higher gradient time T_c (convolutions stride filters pixel by
+pixel), while its update time T_u is smaller (d=27,354 vs 134,794) —
+so the CNN's T_c/T_u ratio is much larger than the MLP's, which is why
+the CNN shows little LAU-SPC contention.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.cost import CostModel, calibrate_cost_model
+from repro.utils.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def calibrated(workloads):
+    out = {}
+    for kind in ("mlp", "cnn"):
+        problem = workloads.problem(kind)
+        rng = np.random.default_rng(0)
+        theta = problem.init_theta(rng)
+        grad_fn = problem.make_grad_fn(rng)
+        buf = np.empty_like(theta)
+        out[kind] = calibrate_cost_model(lambda t, g=grad_fn, b=buf: g(t, b), theta, repeats=3)
+    return out
+
+
+def test_fig9_real_kernel_times(benchmark, calibrated, workloads):
+    def render():
+        rows = []
+        for kind, cm in calibrated.items():
+            model = workloads.cost(kind)
+            rows.append(
+                [kind.upper(), f"{cm.tc * 1e3:.2f}", f"{cm.tu * 1e3:.3f}",
+                 f"{cm.ratio:.0f}", f"{model.tc * 1e3:.2f}", f"{model.tu * 1e3:.3f}",
+                 f"{model.ratio:.0f}"]
+            )
+        return render_table(
+            ["arch", "measured Tc [ms]", "measured Tu [ms]", "measured Tc/Tu",
+             "sim Tc [ms]", "sim Tu [ms]", "sim Tc/Tu"],
+            rows,
+            title="Fig 9: gradient computation vs update time",
+        )
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    print("\n" + text)
+
+
+def test_fig9_tu_smaller_for_cnn(calibrated):
+    """T_u scales with d: the CNN's update is cheaper (d=27k vs 134k)."""
+    assert calibrated["cnn"].tu < calibrated["mlp"].tu
+
+
+def test_fig9_cnn_ratio_larger(calibrated):
+    """The governing claim: CNN's T_c/T_u ratio exceeds the MLP's."""
+    assert calibrated["cnn"].ratio > calibrated["mlp"].ratio
+
+
+def test_fig9_sim_defaults_encode_same_regime(workloads):
+    assert workloads.cost("cnn").ratio > workloads.cost("mlp").ratio
+
+
+def test_fig9_all_times_positive(calibrated):
+    for cm in calibrated.values():
+        assert cm.tc > 0 and cm.tu > 0

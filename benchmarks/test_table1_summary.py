@@ -1,0 +1,44 @@
+"""Table I — the experiment matrix, plus Tables II/III (architectures).
+
+These benches assert the static facts the paper tabulates and render
+Table I with the implementing function of each step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import TABLE_I, render_table_i
+from repro.nn import CNN_DIMENSION, MLP_DIMENSION, cnn_mnist, mlp_mnist
+
+
+def test_table1_renders(benchmark):
+    text = benchmark.pedantic(render_table_i, rounds=1, iterations=1)
+    print("\n" + text)
+    assert "S1" in text and "S5" in text
+
+
+def test_table1_covers_every_step():
+    steps = [row["step"] for row in TABLE_I]
+    assert steps == ["S1", "S2", "S3", "S4", "S5"]
+    for row in TABLE_I:
+        assert row["function"], f"step {row['step']} has no implementing function"
+
+
+def test_table2_mlp_architecture(benchmark):
+    net = benchmark.pedantic(mlp_mnist, rounds=1, iterations=1)
+    assert net.n_params == MLP_DIMENSION == 134_794
+    dense_units = [layer.units for layer in net.layers if layer.kind == "dense"]
+    assert dense_units == [128, 128, 128, 10]  # Table II rows
+
+
+def test_table3_cnn_architecture(benchmark):
+    net = benchmark.pedantic(cnn_mnist, rounds=1, iterations=1)
+    assert net.n_params == CNN_DIMENSION == 27_354
+    convs = [layer for layer in net.layers if layer.kind == "conv2d"]
+    assert [c.filters for c in convs] == [4, 8]  # Table III rows
+    assert all(c.kernel == (3, 3) for c in convs)
+    pools = [layer for layer in net.layers if layer.kind == "maxpool2d"]
+    assert all(p.pool == (2, 2) for p in pools)
+    dense_units = [layer.units for layer in net.layers if layer.kind == "dense"]
+    assert dense_units == [128, 10]

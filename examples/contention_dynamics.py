@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Section IV hands-on: the analytical LAU-SPC retry-loop dynamics
+(eq. 4/5, Theorem 3) against the simulator's *measured* occupancy, and
+the contention-regulating effect of the persistence bound
+(Corollary 3.2).
+
+Usage:
+    python examples/contention_dynamics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CostModel, QuadraticProblem, RunConfig, run_once
+from repro.analysis import (
+    expected_total_staleness,
+    fixed_point,
+    fixed_point_with_persistence,
+    occupancy_closed_form,
+    persistence_gamma,
+)
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    m, tc, tu, t_copy = 16, 2e-3, 1e-3, 0.2e-3
+
+    # --- Theorem 3: closed form vs fixed point -------------------------
+    loop_body = tu + t_copy  # one LAU-SPC pass costs copy + update
+    n_star = fixed_point(m, tc, loop_body)
+    print(f"m={m}, T_c={tc * 1e3:.1f} ms, LAU-SPC body={loop_body * 1e3:.1f} ms")
+    print(f"Corollary 3.1 fixed point: n* = {n_star:.2f} threads in the retry loop")
+    steps = np.array([0, 2, 5, 10, 50])
+    values = occupancy_closed_form(m, tc / loop_body, 1.0, steps, n0=0.0)
+    print("eq. (5) trajectory (n_0 = 0):",
+          ", ".join(f"n_{int(s)}={v:.2f}" for s, v in zip(steps, values)))
+
+    # --- Measured occupancy from real Leashed-SGD executions -----------
+    problem = QuadraticProblem(128, h=1.0, b=1.0, noise_sigma=0.05)
+    cost = CostModel(tc=tc, tu=tu, t_copy=t_copy)
+    rows = []
+    for persistence in ("inf", "1", "0"):
+        algorithm = f"LSH_ps{persistence}"
+        result = run_once(
+            problem,
+            cost,
+            RunConfig(
+                algorithm=algorithm, m=m, eta=0.05, seed=5,
+                epsilons=(0.5, 0.01), target_epsilon=0.01,
+                max_updates=100_000, max_virtual_time=100.0,
+            ),
+        )
+        t, occ = result.retry_occupancy
+        measured = float(np.mean(occ[len(occ) // 2 :])) if occ.size else float("nan")
+        p = float("inf") if persistence == "inf" else int(persistence)
+        gamma = persistence_gamma(p)
+        predicted = fixed_point_with_persistence(m, tc, loop_body, gamma)
+        rows.append(
+            [
+                algorithm,
+                f"{gamma:g}",
+                f"{predicted:.2f}",
+                f"{measured:.2f}",
+                f"{result.staleness['mean']:.1f}",
+                f"{expected_total_staleness(m, tc, loop_body, persistence=p):.1f}",
+                result.status.value,
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["algorithm", "gamma", "n*_gamma (eq. 7)", "measured n", "mean tau", "E[tau] model", "status"],
+            rows,
+            title="Persistence bound regulates contention (model vs simulator)",
+        )
+    )
+    print(
+        "\nAs the persistence bound tightens (ps inf -> 1 -> 0), gamma grows, the\n"
+        "fixed point n*_gamma drops, and the *measured staleness* (mean tau)\n"
+        "shrinks sharply — Corollary 3.2's contention regulation. ('measured n'\n"
+        "counts completed retry-loop stays only; with bounded persistence the\n"
+        "loop turns over much faster, so by Little's law the same occupancy is\n"
+        "made of many short stays rather than few long ones.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

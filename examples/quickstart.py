@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Quickstart: run Leashed-SGD against the lock-based baseline on a
+small convex problem and compare convergence.
+
+This exercises the whole public API surface in ~2 seconds:
+a Problem, a CostModel, RunConfig, run_once, and the RunResult metrics.
+
+Usage:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import CostModel, QuadraticProblem, RunConfig, run_once
+from repro.utils.tables import render_table
+
+
+def main() -> None:
+    # A 256-dimensional strongly convex target with gradient noise:
+    # the setting where classical AsyncSGD theory applies.
+    problem = QuadraticProblem(256, h=1.0, b=2.0, noise_sigma=0.1)
+
+    # Virtual durations of the simulated machine: gradient computation
+    # T_c = 10 ms, bulk update T_u = 1 ms (a contention-prone ratio).
+    cost = CostModel(tc=10e-3, tu=1e-3, t_copy=0.7e-3)
+
+    rows = []
+    for algorithm in ("SEQ", "ASYNC", "HOG", "LSH_psinf", "LSH_ps0"):
+        m = 1 if algorithm == "SEQ" else 8
+        config = RunConfig(
+            algorithm=algorithm,
+            m=m,
+            eta=0.05,
+            seed=42,
+            epsilons=(0.5, 0.1, 0.01),
+            target_epsilon=0.01,
+            max_updates=50_000,
+            max_virtual_time=100.0,
+        )
+        result = run_once(problem, cost, config)
+        rows.append(
+            [
+                algorithm,
+                m,
+                result.status.value,
+                result.time_to(0.01),
+                result.n_updates,
+                result.staleness["mean"],
+                result.peak_pv_count,
+            ]
+        )
+
+    print(
+        render_table(
+            ["algorithm", "m", "status", "time to 1% [vs]", "updates", "mean staleness", "peak #PV"],
+            rows,
+            title="Quickstart: 1%-convergence on a noisy quadratic (virtual seconds)",
+        )
+    )
+    print(
+        "\nLock-free consistent Leashed-SGD (LSH_*) converges like the lock-based\n"
+        "baseline but without blocking, and LSH_ps0's persistence bound trades\n"
+        "a little throughput for markedly lower staleness."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""When is HOGWILD! enough, and when do you want Leashed-SGD?
+
+HOGWILD! [36] was designed for problems with *sparse* gradients, where
+concurrent component-wise updates rarely touch the same coordinates.
+The paper targets the opposite regime — dense DL models, where every
+update touches all d coordinates, torn views carry real inconsistency,
+and write-sharing is expensive. This example runs both algorithms on
+both regimes and shows the standing flip.
+
+Usage:
+    python examples/sparse_vs_dense.py
+"""
+
+from __future__ import annotations
+
+from repro import CostModel, RunConfig, Workloads, run_once
+from repro.core.problem import SparseLogisticProblem
+from repro.harness.config import Profile
+from repro.utils.tables import render_table
+
+MINI = Profile(
+    name="quick", n_train=4096, n_eval=512, batch_size=128, cnn_batch_size=64,
+    repeats=1, thread_counts=(16,), high_parallelism=(16,), max_updates=2000,
+    max_virtual_time=30.0, max_wall_seconds=45.0, step_sizes=(0.02,),
+    mlp_epsilons=(0.75, 0.5, 0.25), cnn_epsilons=(0.75, 0.5),
+)
+
+
+def main() -> None:
+    m = 16
+
+    sparse = SparseLogisticProblem(
+        d=2048, n_samples=4096, nnz_per_sample=8, batch_size=16, seed=3
+    )
+    sparse_cost = CostModel(tc=4e-3, tu=1.5e-3, t_copy=0.7e-3)
+    workloads = Workloads(MINI)
+    dense = workloads.mlp_problem  # the paper's dense DL regime
+    dense_cost = workloads.cost("mlp")
+
+    rows = []
+    for regime, problem, cost, eta, target in (
+        ("sparse logistic (nnz=8/2048)", sparse, sparse_cost, 0.5, 0.75),
+        ("dense MLP (d=134,794)", dense, dense_cost, 0.02, 0.25),
+    ):
+        times = {}
+        for algorithm in ("HOG", "LSH_psinf", "LSH_ps0"):
+            result = run_once(
+                problem, cost,
+                RunConfig(
+                    algorithm=algorithm, m=m, eta=eta, seed=23,
+                    epsilons=(0.9, target), target_epsilon=target,
+                    max_updates=6_000, max_virtual_time=300.0,
+                    max_wall_seconds=90.0,
+                ),
+            )
+            times[algorithm] = result.time_to(target)
+            rows.append(
+                [regime, algorithm, result.status.value,
+                 f"{result.time_to(target):.4g}",
+                 f"{result.staleness['mean']:.1f}"]
+            )
+        winner = min(times, key=lambda k: times[k])
+        rows.append([regime, f"-> fastest: {winner}", "", "", ""])
+
+    print(
+        render_table(
+            ["regime", "algorithm", "status", "t(target) [vs]", "mean tau"],
+            rows,
+            title=f"Sparse vs dense at m={m} (virtual seconds)",
+        )
+    )
+    print(
+        "\nOn the sparse problem HOGWILD!'s zero-coordination throughput wins;\n"
+        "on the dense one, write-sharing costs and inconsistency flip the\n"
+        "ordering toward the consistent lock-free Leashed-SGD — the regime\n"
+        "the paper targets."
+    )
+
+
+if __name__ == "__main__":
+    main()

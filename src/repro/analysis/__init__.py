@@ -1,0 +1,54 @@
+"""Analytical models from Section IV of the paper: LAU-SPC retry-loop
+dynamics (eq. 4/5, Theorem 3), fixed points and the persistence-shifted
+fixed point (Corollaries 3.1/3.2), staleness estimation, and the memory
+bounds of Lemma 2."""
+
+from repro.analysis.dynamics import (
+    occupancy_recurrence,
+    occupancy_closed_form,
+    fixed_point,
+    fixed_point_with_persistence,
+    is_stable,
+)
+from repro.analysis.contention import (
+    expected_scheduling_staleness,
+    expected_compute_staleness,
+    expected_total_staleness,
+    persistence_gamma,
+)
+from repro.analysis.memory_model import (
+    baseline_instances,
+    leashed_max_instances,
+    predicted_memory_bytes,
+)
+from repro.analysis.stability import (
+    max_stable_eta,
+    predicted_frontier,
+    stability_margin,
+)
+from repro.analysis.throughput import (
+    predicted_time_per_update,
+    predicted_speedup,
+    saturation_threads,
+)
+
+__all__ = [
+    "occupancy_recurrence",
+    "occupancy_closed_form",
+    "fixed_point",
+    "fixed_point_with_persistence",
+    "is_stable",
+    "expected_scheduling_staleness",
+    "expected_compute_staleness",
+    "expected_total_staleness",
+    "persistence_gamma",
+    "baseline_instances",
+    "leashed_max_instances",
+    "predicted_memory_bytes",
+    "max_stable_eta",
+    "predicted_frontier",
+    "stability_margin",
+    "predicted_time_per_update",
+    "predicted_speedup",
+    "saturation_threads",
+]

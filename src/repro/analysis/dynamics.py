@@ -1,0 +1,106 @@
+"""Thread-balance dynamics of the LAU-SPC retry loop (Section IV.1).
+
+The paper models the number of threads ``n_t`` inside the LAU-SPC retry
+loop as a time-varying birth/death process: threads arrive after a
+gradient computation of duration ``T_c`` and depart after an update of
+duration ``T_u``:
+
+    n_{t+1} = n_t + (m - n_t)/T_c - n_t/T_u                       (eq. 4)
+
+whose closed form (Theorem 3) is
+
+    n_t = [1 - (1 - 1/T_c - 1/T_u)^t] / (1 + T_c/T_u) * m
+          + (1 - 1/T_c - 1/T_u)^t * n_0                           (eq. 5)
+
+with the stable fixed point (Corollary 3.1)
+
+    n* = m / (T_c/T_u + 1),
+
+and, under a persistence bound raising the departure rate by a factor
+``1 + gamma`` (eq. 6), the shifted fixed point (Corollary 3.2, eq. 7)
+
+    n*_gamma = m / ((T_c/T_u) (1 + gamma) + 1).
+
+Note: the recurrence treats one recurrence step as one unit of the time
+axis on which ``T_c``/``T_u`` are expressed, so it is a valid discrete
+model whenever ``1/T_c + 1/T_u < 1`` (per the paper's geometric-series
+derivation); :func:`is_stable` checks exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def _decay(tc: float, tu: float) -> float:
+    return 1.0 - 1.0 / tc - 1.0 / tu
+
+
+def occupancy_recurrence(
+    m: int, tc: float, tu: float, *, n0: float = 0.0, steps: int = 100
+) -> np.ndarray:
+    """Iterate eq. (4) for ``steps`` steps; returns ``n_0 .. n_steps``.
+
+    Parameters
+    ----------
+    m:
+        Total threads.
+    tc, tu:
+        Gradient-computation and update durations, in recurrence-step
+        units.
+    n0:
+        Initial retry-loop occupancy.
+    """
+    check_positive("m", m)
+    check_positive("tc", tc)
+    check_positive("tu", tu)
+    check_non_negative("n0", n0)
+    out = np.empty(steps + 1)
+    out[0] = n0
+    for i in range(steps):
+        n = out[i]
+        out[i + 1] = n + (m - n) / tc - n / tu
+    return out
+
+
+def occupancy_closed_form(
+    m: int, tc: float, tu: float, t: np.ndarray | float, *, n0: float = 0.0
+) -> np.ndarray | float:
+    """Evaluate eq. (5) at step(s) ``t``."""
+    check_positive("m", m)
+    check_positive("tc", tc)
+    check_positive("tu", tu)
+    a = _decay(tc, tu)
+    t_arr = np.asarray(t, dtype=float)
+    decay_pow = np.power(a, t_arr)
+    value = (1.0 - decay_pow) / (1.0 + tc / tu) * m + decay_pow * n0
+    return value if isinstance(t, np.ndarray) else float(value)
+
+
+def fixed_point(m: int, tc: float, tu: float) -> float:
+    """Corollary 3.1: ``n* = m / (T_c/T_u + 1)``."""
+    check_positive("m", m)
+    check_positive("tc", tc)
+    check_positive("tu", tu)
+    return m / (tc / tu + 1.0)
+
+
+def fixed_point_with_persistence(m: int, tc: float, tu: float, gamma: float) -> float:
+    """Corollary 3.2 / eq. (7): ``n*_gamma = m / ((T_c/T_u)(1+gamma) + 1)``."""
+    check_positive("m", m)
+    check_positive("tc", tc)
+    check_positive("tu", tu)
+    check_non_negative("gamma", gamma, allow_inf=True)
+    if np.isinf(gamma):
+        return 0.0
+    return m / ((tc / tu) * (1.0 + gamma) + 1.0)
+
+
+def is_stable(tc: float, tu: float) -> bool:
+    """Whether the recurrence's decay factor lies in (-1, 1), i.e. the
+    discrete model converges to the fixed point for any ``n_0``."""
+    check_positive("tc", tc)
+    check_positive("tu", tu)
+    return abs(_decay(tc, tu)) < 1.0

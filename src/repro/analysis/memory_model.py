@@ -1,0 +1,56 @@
+"""Memory-consumption model (Lemma 2 and the Section III discussion).
+
+* Baselines (AsyncSGD, HOGWILD!): **exactly 2m + 1** ParameterVector
+  instances held constantly — the shared PARAM plus per-thread
+  ``local_param`` and ``local_grad``.
+* Leashed-SGD: at most **3m** instances simultaneously (Lemma 2 (ii)) —
+  per thread a pinned ``latest_param``, a private ``new_param``, and
+  ``local_grad`` — but on average fewer, because ``new_param`` only
+  exists between the end of a gradient computation and its publication:
+  with gradient computation dominating (``T_c >> T_u``) the expected
+  live count approaches ``m + 1`` gradients + ~1-2 published vectors,
+  which is where the paper's observed ~17% CNN memory saving comes from.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def baseline_instances(m: int) -> int:
+    """Constant live ParameterVector count of ASYNC / HOG: ``2m + 1``."""
+    check_positive("m", m)
+    return 2 * int(m) + 1
+
+
+def leashed_max_instances(m: int) -> int:
+    """Lemma 2 (ii): Leashed-SGD holds at most ``3m`` instances.
+
+    (The transient worst case in this implementation is ``3m + 1``:
+    all m threads simultaneously pin distinct stale vectors *and* hold
+    private candidates while a freshly published vector exists that no
+    thread has pinned yet; the paper's count folds the published vector
+    into some thread's ``latest_param``.)
+    """
+    check_positive("m", m)
+    return 3 * int(m)
+
+
+def leashed_expected_instances(m: int, tc: float, tu: float, t_copy: float = 0.0) -> float:
+    """Expected live count: ``m`` gradient buffers + ``1`` published
+    vector + the fraction of threads currently inside the LAU-SPC loop
+    holding a candidate (``new_param`` lives for ~``t_copy + tu`` of
+    each ``tc + t_copy + tu`` iteration)."""
+    check_positive("m", m)
+    check_positive("tc", tc)
+    check_positive("tu", tu)
+    check_non_negative("t_copy", t_copy)
+    frac_in_loop = (t_copy + tu) / (tc + t_copy + tu)
+    return m + 1 + m * frac_in_loop
+
+
+def predicted_memory_bytes(instances: float, d: int, *, itemsize: int = 4) -> float:
+    """Bytes for ``instances`` ParameterVectors of dimension ``d``."""
+    check_positive("d", d)
+    check_positive("itemsize", itemsize)
+    return float(instances) * d * itemsize

@@ -1,0 +1,71 @@
+"""Stability frontier of delayed SGD: how large a step size survives a
+given staleness.
+
+Classical delay-difference analysis: on a quadratic direction with
+curvature ``h``, asynchronous SGD behaves as the delayed recurrence
+
+    theta_{t+1} = theta_t - eta * h * theta_{t - tau},
+
+which is asymptotically stable iff
+
+    eta * h < 2 * sin( pi / (2 * (2*tau + 1)) )
+
+(the classic root-locus condition for x_{t+1} = x_t - a x_{t-tau}; at
+``tau = 0`` it recovers the familiar ``eta*h < 2``, and it decays like
+``pi / (2*tau)`` for large delays — the "iterations grow linearly in the
+maximum staleness" regime of De Sa et al. [11] seen from the stability
+side).
+
+Combining it with the staleness expectations of
+:mod:`repro.analysis.contention` yields a *predicted stability
+frontier* per algorithm: the maximum step size each synchronization
+scheme should tolerate at a given thread count. The paper's Fig 8
+observation — Leashed-SGD converges for larger eta than the baselines —
+is this frontier ordering, since the persistence bound cuts E[tau];
+``benchmarks/test_ablation_stability.py`` measures the empirical
+frontier and checks the ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.contention import expected_total_staleness
+from repro.utils.validation import check_non_negative, check_positive
+
+
+def max_stable_eta(h: float, tau: float) -> float:
+    """Largest stable step size for curvature ``h`` and delay ``tau``.
+
+    ``tau`` may be fractional (an expected staleness); the condition is
+    interpolated continuously.
+    """
+    check_positive("h", h)
+    check_non_negative("tau", tau)
+    return 2.0 * math.sin(math.pi / (2.0 * (2.0 * tau + 1.0))) / h
+
+
+def predicted_frontier(
+    m: int,
+    tc: float,
+    tu: float,
+    *,
+    h: float = 1.0,
+    persistence: float = float("inf"),
+) -> float:
+    """Predicted maximum stable eta for a Leashed-SGD-style algorithm
+    with the given persistence bound at thread count ``m``.
+
+    Uses ``E[tau]`` from the Section IV contention model; for the
+    baselines pass ``persistence=inf`` (no CAS-drop regulation) — their
+    expected staleness is the same tau_c plus the unregulated tau_s.
+    """
+    tau = expected_total_staleness(m, tc, tu, persistence=persistence)
+    return max_stable_eta(h, tau)
+
+
+def stability_margin(eta: float, h: float, tau: float) -> float:
+    """How far inside (>1) or outside (<1) the stable region an
+    operating point sits: ``max_stable_eta / eta``."""
+    check_positive("eta", eta)
+    return max_stable_eta(h, tau) / eta

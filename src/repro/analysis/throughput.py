@@ -1,0 +1,82 @@
+"""Computational-efficiency model: predicted time per published update.
+
+The paper measures time/iteration empirically (Fig 3 right); this module
+derives first-order predictions per synchronization scheme from the cost
+model, making the crossovers quantitative:
+
+* SEQ — one thread does everything:
+  ``T = tc + tu``.
+* ASYNC (lock-based) — m workers pipeline gradient computation, but every
+  update *and* every read-copy pass through one mutex:
+  ``T = max((tc + t_copy + tu)/m, t_copy + tu)``; the second term is the
+  lock-saturation floor that makes baseline time/iteration flat in m
+  once saturated.
+* HOG — no waiting, but unsynchronized bulk accesses pay coherence
+  traffic proportional to the expected number of concurrent accessors:
+  each worker spends ``s = t_copy + tu`` of every ``tc + s`` iteration
+  inside the shared buffer, so a first-order estimate of concurrent
+  peers is ``p = (m-1) * s_eff / (tc + s_eff)`` solved self-consistently
+  with ``s_eff = s * (1 + penalty * p)``:
+  ``T = (tc + s_eff) / m``.
+* Leashed-SGD — publications serialize through the CAS point: each
+  successful publish occupies the "commit channel" for about
+  ``t_copy + tu``, so
+  ``T = max((tc + t_alloc + t_copy + tu)/m, t_copy + tu)``;
+  unlike the mutex, the channel is non-blocking — the max expresses
+  throughput, not progress. With a finite persistence bound throughput
+  can only improve (failed competitors stop retrying), so the same
+  expression is an upper bound for LSH_ps<k>.
+
+``benchmarks/test_ablation_throughput.py`` compares these against
+measured time/update.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.cost import CostModel
+from repro.utils.validation import check_positive
+
+
+def predicted_time_per_update(algorithm: str, m: int, cost: CostModel) -> float:
+    """First-order time per published update, in virtual seconds.
+
+    ``algorithm``: SEQ | ASYNC | HOG | LSH (any persistence).
+    """
+    check_positive("m", m)
+    s = cost.t_copy + cost.tu
+    if algorithm == "SEQ":
+        return cost.tc + cost.tu
+    if algorithm == "ASYNC":
+        return max((cost.tc + s) / m, s)
+    if algorithm == "HOG":
+        # self-consistent concurrent-accessor estimate (2 iterations of
+        # the fixed point are plenty at first order)
+        s_eff = s
+        for _ in range(8):
+            p = (m - 1) * s_eff / (cost.tc + s_eff)
+            s_eff = s * (1.0 + cost.coherence_penalty * p)
+        return (cost.tc + s_eff) / m
+    if algorithm.startswith("LSH"):
+        return max((cost.tc + cost.t_alloc + s) / m, s)
+    raise ConfigurationError(f"no throughput model for algorithm {algorithm!r}")
+
+
+def saturation_threads(algorithm: str, cost: CostModel) -> float:
+    """Thread count beyond which the serialized stage saturates (the
+    knee of the Fig 3 right curves); inf for HOG (no serialization)."""
+    s = cost.t_copy + cost.tu
+    if algorithm == "ASYNC":
+        return (cost.tc + s) / s
+    if algorithm.startswith("LSH"):
+        return (cost.tc + cost.t_alloc + s) / s
+    if algorithm in ("SEQ", "HOG"):
+        return float("inf")
+    raise ConfigurationError(f"no throughput model for algorithm {algorithm!r}")
+
+
+def predicted_speedup(algorithm: str, m: int, cost: CostModel) -> float:
+    """Throughput speedup over SEQ at thread count ``m``."""
+    return predicted_time_per_update("SEQ", 1, cost) / predicted_time_per_update(
+        algorithm, m, cost
+    )

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    One configured execution, printed as a metric table (optionally
+    archived as JSON).
+``experiment``
+    One of the paper's experiment steps (s1, s1-eta, s2, s3, s4, s5),
+    rendering the corresponding figures as text.
+``table1``
+    Print the paper's Table I with the implementing functions.
+``calibrate``
+    Measure real NumPy kernel times for the MLP/CNN workloads and print
+    the resulting cost models (Fig. 9's data).
+
+Examples
+--------
+    python -m repro run --algorithm LSH_ps1 --m 16 --workload mlp
+    python -m repro experiment s2 --profile quick
+    python -m repro calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.harness.config import RunConfig, Workloads, get_profile
+from repro.harness.runner import run_once
+from repro.utils.tables import render_table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Leashed-SGD reproduction (IPDPS 2021) command-line runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one configured execution")
+    run_p.add_argument("--algorithm", default="LSH_psinf",
+                       help="SEQ | ASYNC | HOG | SYNC | LSH_ps<k> | LSH_psinf | LSH_ADAPT")
+    run_p.add_argument("--m", type=int, default=8, help="worker threads")
+    run_p.add_argument("--eta", type=float, default=None, help="step size")
+    run_p.add_argument("--workload", default="quadratic",
+                       choices=("quadratic", "mlp", "cnn"))
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--profile", default=None, choices=(None, "quick", "paper"))
+    run_p.add_argument("--target-eps", type=float, default=None,
+                       help="stop threshold as a fraction of the initial loss")
+    run_p.add_argument("--json", default=None, metavar="PATH",
+                       help="archive the RunResult as JSON")
+
+    exp_p = sub.add_parser("experiment", help="run a paper experiment step")
+    exp_p.add_argument("step", choices=("s1", "s1-eta", "s2", "s3", "s4", "s5"))
+    exp_p.add_argument("--profile", default=None, choices=(None, "quick", "paper"))
+
+    sub.add_parser("table1", help="print the paper's Table I")
+    sub.add_parser("calibrate", help="measure real kernel times (Fig 9)")
+
+    fig_p = sub.add_parser("figures", help="render the paper's figures as SVG")
+    fig_p.add_argument("--out", default="figures", metavar="DIR")
+    fig_p.add_argument("--seed", type=int, default=77)
+
+    sweep_p = sub.add_parser("sweep", help="run a custom algorithm/m/eta grid")
+    sweep_p.add_argument("--algorithms", default="ASYNC,HOG,LSH_ps0",
+                         help="comma-separated algorithm names")
+    sweep_p.add_argument("--m", default="4,16", help="comma-separated thread counts")
+    sweep_p.add_argument("--etas", default="0.05", help="comma-separated step sizes")
+    sweep_p.add_argument("--repeats", type=int, default=3)
+    sweep_p.add_argument("--seed", type=int, default=0)
+    sweep_p.add_argument("--workload", default="quadratic",
+                         choices=("quadratic", "mlp", "cnn"))
+    sweep_p.add_argument("--target-eps", type=float, default=0.1)
+    sweep_p.add_argument("--json", default=None, metavar="PATH")
+
+    report_p = sub.add_parser(
+        "report", help="build the paper-vs-measured markdown from benchmarks/rendered/"
+    )
+    report_p.add_argument("--rendered", default="benchmarks/rendered", metavar="DIR")
+    report_p.add_argument("--out", default="reproduction_report.md", metavar="PATH")
+    report_p.add_argument("--profile", default="quick")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    workloads = Workloads(get_profile(args.profile))
+    problem = workloads.problem(args.workload)
+    cost = workloads.cost(args.workload)
+    profile = workloads.profile
+    epsilons = (
+        profile.mlp_epsilons if args.workload == "mlp"
+        else profile.cnn_epsilons if args.workload == "cnn"
+        else (0.5, 0.1, 0.01)
+    )
+    target = args.target_eps if args.target_eps is not None else min(epsilons)
+    if target not in epsilons:
+        epsilons = tuple(sorted(set(epsilons) | {target}, reverse=True))
+    eta = args.eta if args.eta is not None else (
+        profile.default_eta if args.workload in ("mlp", "cnn") else 0.05
+    )
+    config = RunConfig(
+        algorithm=args.algorithm,
+        m=args.m,
+        eta=eta,
+        seed=args.seed,
+        epsilons=epsilons,
+        target_epsilon=target,
+        max_updates=profile.max_updates,
+        max_virtual_time=profile.max_virtual_time,
+        max_wall_seconds=profile.max_wall_seconds,
+    )
+    result = run_once(problem, cost, config)
+    rows = [
+        ["status", result.status.value],
+        ["virtual time [s]", result.virtual_time],
+        ["updates published", result.n_updates],
+        ["gradients dropped", result.n_dropped],
+        ["time / update [s]", result.time_per_update],
+        ["mean staleness", result.staleness["mean"]],
+        ["p90 staleness", result.staleness["p90"]],
+        ["CAS failure rate", result.cas_failure_rate],
+        ["mean lock wait [s]", result.mean_lock_wait],
+        ["peak ParameterVectors", result.peak_pv_count],
+        ["peak memory [MB]", result.peak_pv_bytes / 1e6],
+        ["final loss", result.report.final_loss],
+        ["final accuracy", result.final_accuracy],
+        ["wall time [s]", result.wall_seconds],
+    ]
+    for eps in sorted(config.epsilons, reverse=True):
+        rows.append([f"time to {eps:.1%}", result.time_to(eps)])
+        rows.append([f"updates to {eps:.1%}", result.updates_to(eps)])
+    print(
+        render_table(
+            ["metric", "value"], rows,
+            title=f"{args.algorithm} on {args.workload}, m={args.m}, eta={eta:g}, seed={args.seed}",
+        )
+    )
+    if args.json:
+        from repro.utils.serialization import save_results
+
+        path = save_results(result, args.json)
+        print(f"\nresult archived to {path}")
+    return 0 if result.status.value == "converged" else 1
+
+
+def _cmd_experiment(args) -> int:
+    from repro.harness import experiments as exp
+
+    workloads = Workloads(get_profile(args.profile))
+    fn = {
+        "s1": exp.s1_scalability,
+        "s1-eta": exp.s1_stepsize,
+        "s2": exp.s2_high_precision,
+        "s3": exp.s3_cnn,
+        "s4": exp.s4_high_parallelism,
+        "s5": exp.s5_memory,
+    }[args.step]
+    result = fn(workloads)
+    print(result)
+    return 0
+
+
+def _cmd_table1() -> int:
+    from repro.harness.experiments import render_table_i
+
+    print(render_table_i())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.harness.grid import SweepGrid, archive, summarize
+
+    workloads = Workloads(get_profile())
+    problem = workloads.problem(args.workload)
+    cost = workloads.cost(args.workload)
+    target = float(args.target_eps)
+    grid = SweepGrid(
+        algorithms=tuple(a.strip() for a in args.algorithms.split(",") if a.strip()),
+        thread_counts=tuple(int(v) for v in args.m.split(",")),
+        etas=tuple(float(v) for v in args.etas.split(",")),
+        repeats=args.repeats,
+        seed=args.seed,
+        epsilons=tuple(sorted({0.5, target}, reverse=True)),
+        target_epsilon=target,
+        max_updates=workloads.profile.max_updates,
+        max_virtual_time=workloads.profile.max_virtual_time,
+        max_wall_seconds=workloads.profile.max_wall_seconds,
+    )
+    results = grid.run(problem, cost, progress=lambda msg: print(f"running {msg} ..."))
+    print()
+    print(summarize(results, target))
+    if args.json:
+        path = archive(results, args.json)
+        print(f"\nresults archived to {path}")
+    return 0
+
+
+def _cmd_calibrate() -> int:
+    from repro.sim.cost import calibrate_cost_model
+
+    workloads = Workloads(get_profile())
+    rows = []
+    for kind in ("mlp", "cnn"):
+        problem = workloads.problem(kind)
+        rng = np.random.default_rng(0)
+        theta = problem.init_theta(rng)
+        grad_fn = problem.make_grad_fn(rng)
+        buf = np.empty_like(theta)
+        cm = calibrate_cost_model(lambda t: grad_fn(t, buf), theta, repeats=3)
+        rows.append(
+            [kind.upper(), problem.d, f"{cm.tc * 1e3:.2f}", f"{cm.tu * 1e3:.3f}",
+             f"{cm.t_copy * 1e3:.3f}", f"{cm.ratio:.0f}"]
+        )
+    print(
+        render_table(
+            ["arch", "d", "Tc [ms]", "Tu [ms]", "copy [ms]", "Tc/Tu"],
+            rows,
+            title="Measured NumPy kernel times on this machine (Fig 9 analogue)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "calibrate":
+        return _cmd_calibrate()
+    if args.command == "figures":
+        from repro.viz.figures import render_all_figures
+
+        written = render_all_figures(args.out, seed=args.seed)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "report":
+        from repro.harness.report import write_report
+
+        path = write_report(args.rendered, args.out, profile_name=args.profile)
+        print(f"wrote {path}")
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Convergence monitoring: epsilon-convergence, Diverge and Crash.
+
+The paper evaluates every execution against error thresholds expressed
+as a *percentage of the loss at initialization* (``f(theta_0) ~ 2.3``
+for 10-class cross-entropy): an execution "converges to eps" when the
+monitored loss first drops below ``eps * f(theta_0)``. Executions that
+never reach the target within the budget are 'Diverge'; executions whose
+parameters become non-finite (numerical instability from staleness /
+too-large steps) are 'Crash'. Both are first-class outcomes here, as in
+the paper's box plots.
+
+The monitor runs as one more simulated thread that wakes every
+``eval_interval`` virtual seconds, snapshots the shared parameters as an
+omniscient observer (zero virtual cost — measurement does not perturb
+the system), evaluates the held-out loss, and stops the scheduler when
+the target threshold, a budget cap, or a crash is reached.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class RunStatus(enum.Enum):
+    """Terminal classification of one execution (paper Sec. V.2)."""
+
+    CONVERGED = "converged"
+    DIVERGED = "diverged"  # budget exhausted before reaching the target
+    CRASHED = "crashed"  # numerical instability (non-finite loss/params)
+    RUNNING = "running"
+
+
+@dataclass
+class ConvergenceReport:
+    """Everything the monitor learned about one execution."""
+
+    status: RunStatus = RunStatus.RUNNING
+    initial_loss: float = float("nan")
+    final_loss: float = float("nan")
+    #: eps fraction -> (virtual time, update count) at first crossing.
+    threshold_times: dict[float, tuple[float, int]] = field(default_factory=dict)
+    #: Progress curve: (virtual time, loss, cumulative updates).
+    curve_t: list[float] = field(default_factory=list)
+    curve_loss: list[float] = field(default_factory=list)
+    curve_updates: list[int] = field(default_factory=list)
+
+    def time_to(self, eps: float) -> float:
+        """Virtual seconds to eps-convergence (NaN if never reached)."""
+        hit = self.threshold_times.get(eps)
+        return hit[0] if hit else float("nan")
+
+    def updates_to(self, eps: float) -> float:
+        """Published updates to eps-convergence — statistical efficiency
+        (NaN if never reached)."""
+        hit = self.threshold_times.get(eps)
+        return float(hit[1]) if hit else float("nan")
+
+
+class ConvergenceMonitor:
+    """Builds the monitor thread body for one run.
+
+    Parameters
+    ----------
+    eval_fn:
+        ``() -> float`` returning the current held-out loss of the
+        shared parameters (captures algorithm + problem).
+    n_updates_fn:
+        ``() -> int`` returning cumulative published updates.
+    epsilons:
+        Threshold fractions to record, e.g. ``(0.75, 0.5, 0.25, 0.1)``.
+    target_epsilon:
+        Stop the run once this fraction is reached (must be the
+        smallest entry of ``epsilons``).
+    eval_interval:
+        Virtual seconds between monitor wake-ups.
+    max_virtual_time, max_updates:
+        Budget caps -> Diverge.
+    max_wall_seconds:
+        Real-time safety cap for the host (also -> Diverge).
+    stop_fn:
+        Callback stopping the scheduler.
+    """
+
+    def __init__(
+        self,
+        eval_fn: Callable[[], float],
+        n_updates_fn: Callable[[], int],
+        *,
+        epsilons: tuple[float, ...] = (0.75, 0.5, 0.25, 0.1),
+        target_epsilon: float | None = None,
+        eval_interval: float,
+        max_virtual_time: float = float("inf"),
+        max_updates: int = 10**9,
+        max_wall_seconds: float = float("inf"),
+        stop_fn: Callable[[], None],
+        now_fn: Callable[[], float],
+    ) -> None:
+        if not epsilons:
+            raise ConfigurationError("epsilons must be non-empty")
+        if any(not (0 < e < 1) for e in epsilons):
+            raise ConfigurationError(f"epsilon fractions must be in (0,1), got {epsilons}")
+        if not (eval_interval > 0):
+            raise ConfigurationError(f"eval_interval must be > 0, got {eval_interval!r}")
+        self.epsilons = tuple(sorted(set(epsilons), reverse=True))
+        self.target_epsilon = (
+            min(self.epsilons) if target_epsilon is None else float(target_epsilon)
+        )
+        if self.target_epsilon not in self.epsilons:
+            raise ConfigurationError(
+                f"target_epsilon {self.target_epsilon} must be among epsilons {self.epsilons}"
+            )
+        self._eval_fn = eval_fn
+        self._n_updates_fn = n_updates_fn
+        self.eval_interval = float(eval_interval)
+        self.max_virtual_time = float(max_virtual_time)
+        self.max_updates = int(max_updates)
+        self.max_wall_seconds = float(max_wall_seconds)
+        self._stop_fn = stop_fn
+        self._now_fn = now_fn
+        self.report = ConvergenceReport()
+
+    # ------------------------------------------------------------------
+    def _observe(self) -> float:
+        loss = self._eval_fn()
+        now = self._now_fn()
+        n_upd = self._n_updates_fn()
+        self.report.curve_t.append(now)
+        self.report.curve_loss.append(loss)
+        self.report.curve_updates.append(n_upd)
+        self.report.final_loss = loss
+        return loss
+
+    def body(self) -> Generator:
+        """The monitor's simulated-thread generator."""
+        wall_start = time.perf_counter()
+        report = self.report
+        loss0 = self._observe()
+        report.initial_loss = loss0
+        if not math.isfinite(loss0):
+            report.status = RunStatus.CRASHED
+            self._stop_fn()
+            return
+        while True:
+            yield self.eval_interval
+            loss = self._observe()
+            now = self._now_fn()
+            n_upd = self._n_updates_fn()
+            if not math.isfinite(loss):
+                report.status = RunStatus.CRASHED
+                self._stop_fn()
+                return
+            for eps in self.epsilons:
+                if eps not in report.threshold_times and loss <= eps * loss0:
+                    report.threshold_times[eps] = (now, n_upd)
+            if self.target_epsilon in report.threshold_times:
+                report.status = RunStatus.CONVERGED
+                self._stop_fn()
+                return
+            if (
+                now >= self.max_virtual_time
+                or n_upd >= self.max_updates
+                or time.perf_counter() - wall_start >= self.max_wall_seconds
+            ):
+                report.status = RunStatus.DIVERGED
+                self._stop_fn()
+                return

@@ -1,0 +1,117 @@
+"""HOGWILD! — Algorithm 4 of the paper.
+
+Synchronization-free: Algorithm 2 with the locks deleted. Reads copy the
+shared vector and updates write it in place with *no* coordination, so
+concurrent accesses interleave mid-vector. We model component-wise
+atomicity at a configurable granularity: bulk reads and writes execute
+as ``cost.n_chunks`` atomic slices with preemption points between them.
+A reader overlapping a writer therefore assembles a *torn* view — part
+pre-update, part post-update — which is precisely the inconsistency
+whose statistical penalty (the sqrt(d) factor of Alistarh et al. [3])
+the paper contrasts against consistent algorithms.
+
+Staleness uses the completion-order definition (Section II.2): updates
+are ordered by the completion of their last write, counted by the run's
+global sequence counter.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algorithm
+from repro.core.parameter_vector import ParameterVector
+from repro.sim.thread import SimThread
+from repro.sim.trace import UpdateRecord, ViewDivergenceRecord
+
+
+def chunk_slices(d: int, n_chunks: int) -> list[slice]:
+    """Split ``range(d)`` into ``n_chunks`` near-equal contiguous slices."""
+    n_chunks = max(1, min(n_chunks, d))
+    bounds = np.linspace(0, d, n_chunks + 1).astype(int)
+    return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+
+class HogwildSGD(Algorithm):
+    """Algorithm 4: uncoordinated chunk-wise reads and in-place updates."""
+
+    def __init__(self) -> None:
+        self.name = "HOG"
+        self.param: ParameterVector | None = None
+        # Threads currently inside an unsynchronized bulk access to the
+        # shared buffer; drives the cache-coherence cost (CostModel
+        # ``coherence_penalty``).
+        self._accessors = None
+
+    def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
+        from repro.sim.sync import AtomicCounter
+
+        self.param = ParameterVector(ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype)
+        self.param.theta[...] = theta0
+        self._accessors = AtomicCounter(0)
+
+    def worker_body(
+        self, ctx: SGDContext, thread: SimThread, handle: WorkerHandle
+    ) -> Generator:
+        param = self.param
+        local_param = ParameterVector(
+            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype
+        )
+        handle.local_pvs.append(local_param)
+        grad = handle.grad_pv.theta
+        slices = chunk_slices(ctx.problem.d, ctx.cost.n_chunks)
+        copy_chunk_cost = ctx.cost.t_copy / len(slices)
+        update_chunk_cost = ctx.cost.tu / len(slices)
+        eta = ctx.eta
+        accessors = self._accessors
+        while True:
+            # --- unsynchronized chunk-wise read: the view may be torn,
+            # and concurrent accessors inflate each chunk's cost
+            # (coherence traffic on the write-shared buffer).
+            view_seq = ctx.global_seq.load()
+            accessors.fetch_add(1)
+            for sl in slices:
+                np.copyto(local_param.theta[sl], param.theta[sl])
+                yield ctx.cost.contended(copy_chunk_cost, accessors.load() - 1)
+            accessors.fetch_add(-1)
+
+            # --- compute phase
+            handle.grad_fn(local_param.theta, grad)
+            yield ctx.cost.tc
+
+            # --- unsynchronized chunk-wise in-place update.
+            shared = param.theta
+            if ctx.measure_view_divergence:
+                ctx.trace.record_view_divergence(
+                    ViewDivergenceRecord(
+                        ctx.scheduler.now, thread.tid,
+                        float(np.linalg.norm(local_param.theta - shared)),
+                    )
+                )
+            accessors.fetch_add(1)
+            with np.errstate(over="ignore", invalid="ignore"):
+                for sl in slices:
+                    shared[sl] -= eta * grad[sl]
+                    yield ctx.cost.contended(update_chunk_cost, accessors.load() - 1)
+            accessors.fetch_add(-1)
+            param.t += 1  # measurement-only sequence bump (no sync in HOGWILD!)
+            seq = ctx.global_seq.fetch_add(1)
+            ctx.trace.record_update(
+                UpdateRecord(
+                    time=ctx.scheduler.now,
+                    thread=thread.tid,
+                    seq=seq,
+                    staleness=seq - view_seq,
+                )
+            )
+
+    def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
+        return self.param.theta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "HogwildSGD()"
+
+
+register_algorithm("HOG", HogwildSGD)

@@ -1,0 +1,145 @@
+"""ParameterVector — Algorithm 1 of the paper.
+
+The collective data structure holding the flattened model parameters
+``theta`` (dimension d), a sequence number ``t`` of the most recent
+update, and the metadata driving lock-free memory recycling: an atomic
+reader count ``n_rdrs``, a ``stale_flag`` set when the instance has been
+replaced as the globally published vector, and a ``deleted`` flag
+claimed with test-and-set so exactly one thread performs reclamation.
+
+Reclamation really releases the payload here (the array reference is
+dropped and the simulated allocation is freed in the
+:class:`repro.sim.memory.MemoryAccountant`), so a use-after-free in an
+algorithm or in this reproduction surfaces immediately as a
+:class:`repro.errors.MemoryAccountingError` / ``AttributeError`` instead
+of silently reading recycled data — this is how the safety half of the
+paper's Lemma 2 is *tested*, not assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.memory import MemoryAccountant
+from repro.sim.sync import AtomicCounter, AtomicFlag
+
+
+class ParameterVector:
+    """Algorithm 1's core components.
+
+    Parameters
+    ----------
+    d:
+        Dimension of ``theta``.
+    memory:
+        Optional accountant; when given, construction registers a
+        simulated allocation of ``d * itemsize`` bytes under ``tag``.
+    tag:
+        Accounting tag — the harness distinguishes ``"shared"`` /
+        ``"published"`` / ``"local"`` instances when checking the 2m+1
+        vs 3m bounds.
+    dtype:
+        Payload dtype (float32 default: halves memory traffic, ample
+        precision for SGD).
+    """
+
+    __slots__ = ("theta", "t", "n_rdrs", "stale_flag", "deleted", "_memory", "_block_id", "tag")
+
+    def __init__(
+        self,
+        d: int,
+        *,
+        memory: MemoryAccountant | None = None,
+        tag: str = "pv",
+        dtype: np.dtype | type = np.float32,
+    ) -> None:
+        if d <= 0:
+            raise SimulationError(f"ParameterVector dimension must be > 0, got {d}")
+        self.theta: np.ndarray | None = np.zeros(d, dtype=dtype)
+        self.t = 0
+        self.n_rdrs = AtomicCounter(0)
+        self.stale_flag = False
+        self.deleted = AtomicFlag(False)
+        self.tag = tag
+        self._memory = memory
+        self._block_id = (
+            memory.allocate(tag, int(d) * self.theta.itemsize) if memory is not None else None
+        )
+
+    # -- Algorithm 1 functions ---------------------------------------------
+    def rand_init(self, rng: np.random.Generator, *, std: float = 0.1) -> None:
+        """``theta <- N(0, std^2)`` (the paper's ``N(0, 0.01)`` variance)."""
+        self._require_live("rand_init")
+        self.theta[...] = rng.normal(0.0, std, size=self.theta.size)
+
+    def start_reading(self) -> None:
+        """``n_rdrs.fetch_add(1)`` — pin the instance against recycling."""
+        self.n_rdrs.fetch_add(1)
+
+    def stop_reading(self) -> None:
+        """``n_rdrs.fetch_add(-1)`` then attempt reclamation."""
+        prev = self.n_rdrs.fetch_add(-1)
+        if prev <= 0:
+            raise SimulationError(
+                f"stop_reading without matching start_reading on {self.tag!r} vector"
+            )
+        self.safe_delete()
+
+    def safe_delete(self) -> bool:
+        """Reclaim iff stale, unread, and not already reclaimed.
+
+        Returns True when *this* call performed the reclamation.
+        """
+        if self.stale_flag and self.n_rdrs.load() == 0 and self.deleted.test_and_set():
+            self._release_payload()
+            return True
+        return False
+
+    def update(self, delta: np.ndarray, eta: float) -> None:
+        """``t += 1; theta -= eta * delta`` — the bulk read-modify-write.
+
+        The in-place NumPy operation is the whole point: for the
+        HOGWILD!-style algorithms the same buffer is updated slice-wise
+        (see :mod:`repro.core.hogwild`) to model component-wise writes.
+        """
+        self._require_live("update")
+        self.t += 1
+        # errstate: with a destructive step size the payload legitimately
+        # overflows; the paper calls those executions 'Crash' and the
+        # convergence monitor detects them via non-finite loss.
+        with np.errstate(over="ignore", invalid="ignore"):
+            self.theta -= eta * delta
+
+    # -- internals ----------------------------------------------------------
+    def _release_payload(self) -> None:
+        self.theta = None
+        if self._memory is not None and self._block_id is not None:
+            self._memory.free(self._block_id)
+
+    def force_delete(self) -> None:
+        """Unconditionally reclaim a *private* instance (a ``new_param``
+        abandoned when the persistence bound trips, or end-of-run
+        cleanup of thread-local buffers). Never call on a published
+        vector."""
+        if self.deleted.test_and_set():
+            self._release_payload()
+
+    def _require_live(self, op: str) -> None:
+        if self.theta is None:
+            raise SimulationError(
+                f"{op} on a reclaimed ParameterVector (tag={self.tag!r}) — "
+                "use-after-free in the synchronization protocol"
+            )
+
+    @property
+    def is_deleted(self) -> bool:
+        """Whether the payload has been reclaimed."""
+        return self.deleted.load()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        d = self.theta.size if self.theta is not None else "freed"
+        return (
+            f"ParameterVector(tag={self.tag!r}, d={d}, t={self.t}, "
+            f"n_rdrs={self.n_rdrs.load()}, stale={self.stale_flag}, deleted={self.is_deleted})"
+        )

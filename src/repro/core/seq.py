@@ -1,0 +1,56 @@
+"""Sequential SGD (the paper's SEQ baseline).
+
+One thread, no synchronization: the reference point for statistical
+efficiency (zero staleness, perfect consistency) and the yardstick that
+parallel speedup is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algorithm
+from repro.core.parameter_vector import ParameterVector
+from repro.errors import ConfigurationError
+from repro.sim.thread import SimThread
+from repro.sim.trace import UpdateRecord
+
+
+class SequentialSGD(Algorithm):
+    """Plain sequential SGD over a single shared ParameterVector."""
+
+    def __init__(self) -> None:
+        self.name = "SEQ"
+        self.param: ParameterVector | None = None
+
+    def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
+        self.param = ParameterVector(ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype)
+        self.param.theta[...] = theta0
+
+    def worker_body(
+        self, ctx: SGDContext, thread: SimThread, handle: WorkerHandle
+    ) -> Generator:
+        if handle.index != 0:
+            raise ConfigurationError("SEQ admits exactly one worker (m=1)")
+        param = self.param
+        grad = handle.grad_pv.theta
+        while True:
+            handle.grad_fn(param.theta, grad)
+            yield ctx.cost.tc
+            param.update(grad, ctx.eta)
+            yield ctx.cost.tu
+            seq = ctx.global_seq.fetch_add(1)
+            ctx.trace.record_update(
+                UpdateRecord(time=ctx.scheduler.now, thread=thread.tid, seq=seq, staleness=0)
+            )
+
+    def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
+        return self.param.theta
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "SequentialSGD()"
+
+
+register_algorithm("SEQ", SequentialSGD)

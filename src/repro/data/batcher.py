@@ -1,0 +1,104 @@
+"""Dataset container and seeded mini-batch sampling.
+
+The paper samples MNIST "in mini-batches of 512"; each simulated worker
+thread owns a :class:`MiniBatcher` with an independent RNG stream, so
+the batch sequence of one thread is unaffected by how many other threads
+exist — keeping convergence comparisons across parallelism levels
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ShapeError
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Images + integer labels.
+
+    ``images`` may be ``(n, H, W)`` (spatial) or ``(n, d)`` (flat); the
+    accessors below produce whichever layout a network needs without
+    mutating the stored array.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.images.shape[0] != self.labels.shape[0]:
+            raise ShapeError(
+                f"images ({self.images.shape[0]}) and labels ({self.labels.shape[0]}) "
+                "disagree on sample count"
+            )
+        if self.labels.ndim != 1:
+            raise ShapeError(f"labels must be 1-D, got shape {self.labels.shape}")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct classes (assumes labels are 0..K-1)."""
+        return int(self.labels.max()) + 1 if len(self) else 0
+
+    def as_flat(self) -> np.ndarray:
+        """``(n, prod(dims))`` view/copy suitable for MLP input."""
+        return self.images.reshape(len(self), -1)
+
+    def as_images(self, channels: int = 1) -> np.ndarray:
+        """``(n, channels, H, W)`` array suitable for CNN input."""
+        if self.images.ndim == 3:
+            if channels != 1:
+                raise ShapeError(f"stored images are single-channel; asked for {channels}")
+            return self.images[:, None, :, :]
+        if self.images.ndim == 4:
+            return self.images
+        raise ShapeError(f"cannot interpret images of shape {self.images.shape} spatially")
+
+    def subset(self, n: int) -> "Dataset":
+        """The first ``n`` samples (used by reduced fidelity profiles)."""
+        if not (0 < n <= len(self)):
+            raise ConfigurationError(f"subset size {n} out of range (1..{len(self)})")
+        return Dataset(images=self.images[:n], labels=self.labels[:n])
+
+
+class MiniBatcher:
+    """Uniform with-replacement mini-batch sampler over a dataset.
+
+    Parameters
+    ----------
+    data:
+        The dataset, already in the layout the consumer wants
+        (pass ``Dataset(images=ds.as_flat(), ...)`` for MLPs, etc. — or
+        use :meth:`for_network`).
+    batch_size:
+        Samples per batch (paper: 512).
+    rng:
+        Private generator for this sampler.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray, batch_size: int, rng: np.random.Generator) -> None:
+        if x.shape[0] != y.shape[0]:
+            raise ShapeError(f"x ({x.shape[0]}) and y ({y.shape[0]}) disagree on sample count")
+        if not (0 < batch_size):
+            raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
+        if x.shape[0] == 0:
+            raise ConfigurationError("cannot batch an empty dataset")
+        self._x = x
+        self._y = y
+        self.batch_size = int(min(batch_size, x.shape[0]))
+        self._rng = rng
+
+    def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
+        """Draw one uniform with-replacement mini-batch."""
+        idx = self._rng.integers(0, self._x.shape[0], size=self.batch_size)
+        return self._x[idx], self._y[idx]
+
+    @property
+    def n_samples(self) -> int:
+        """Size of the underlying dataset."""
+        return int(self._x.shape[0])

@@ -1,0 +1,106 @@
+"""Assemble a reproduction report from regenerated experiment renders.
+
+The benchmark suite persists each experiment's plain-text figures under
+``benchmarks/rendered/`` (see ``benchmarks/conftest.py::emit``); this
+module stitches them, together with the paper-expectation annotations
+below, into a single markdown report — the generator behind
+EXPERIMENTS.md's measured sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: What the paper reports for each experiment family, against which the
+#: regenerated output is judged (shape, not absolute numbers).
+PAPER_EXPECTATIONS: dict[str, str] = {
+    "S1/Fig3": (
+        "Paper: baselines (ASYNC, HOG) are best around m=16 and deteriorate "
+        "under higher parallelism — at m=68 no baseline execution reaches "
+        "eps=50% — while Leashed-SGD variants converge stably up to 56+ "
+        "threads; baseline time/iteration stays flat while Leashed-SGD's "
+        "grows moderately under contention (self-regulation)."
+    ),
+    "S1/Fig8": (
+        "Paper: the baselines' best step size (their 0.005) defines the "
+        "yardstick; Leashed-SGD converges for larger step sizes than the "
+        "baselines tolerate."
+    ),
+    "S2/Fig4-6": (
+        "Paper (m=16, MLP): LSH_psinf reaches 2.5% in 65 s median vs 89 s "
+        "(ASYNC) and 80 s (HOG) — a ~20% improvement with smaller "
+        "fluctuations; the persistence bound visibly shifts the staleness "
+        "distribution down (ps0 < ps1 < psinf)."
+    ),
+    "S3/Fig7": (
+        "Paper (m=16, CNN): LSH_ps0 reaches 10% in ~400 s median vs ~500 s "
+        "baselines, best runs 4x faster; staleness similar across "
+        "algorithms because T_c/T_u is high (little contention)."
+    ),
+    "S4/Fig4-6": (
+        "Paper (m in 24/34/68, MLP): baselines accumulate Diverge/Crash "
+        "outcomes and at m=68 oscillate around initialization; Leashed-SGD "
+        "still converges with regulated staleness."
+    ),
+    "S5/Fig10": (
+        "Paper: baselines hold a constant 2m+1 ParameterVector instances; "
+        "Leashed-SGD allocates dynamically, stays within Lemma 2's 3m "
+        "bound, and saves ~17% memory on the CNN on average."
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    """One experiment's paired expectation + regenerated output."""
+
+    experiment_id: str
+    expectation: str
+    rendered: str
+
+
+def collect_sections(rendered_dir: str | Path) -> list[ReportSection]:
+    """Pair every persisted render with its paper expectation."""
+    rendered_dir = Path(rendered_dir)
+    sections = []
+    for experiment_id, expectation in PAPER_EXPECTATIONS.items():
+        name = experiment_id.replace("/", "_").replace("=", "") + ".txt"
+        path = rendered_dir / name
+        rendered = path.read_text() if path.exists() else "(not regenerated yet)"
+        sections.append(ReportSection(experiment_id, expectation, rendered))
+    return sections
+
+
+def build_report(rendered_dir: str | Path, *, profile_name: str = "quick") -> str:
+    """The full markdown report."""
+    lines = [
+        "# Reproduction report",
+        "",
+        f"Regenerated with the `{profile_name}` fidelity profile "
+        "(`pytest benchmarks/ --benchmark-only`). All times are virtual "
+        "seconds on the simulated machine; compare shapes, not absolute "
+        "numbers (see DESIGN.md §2).",
+        "",
+    ]
+    for section in collect_sections(rendered_dir):
+        lines.append(f"## {section.experiment_id}")
+        lines.append("")
+        lines.append(f"**Paper:** {section.expectation}")
+        lines.append("")
+        lines.append("**Regenerated:**")
+        lines.append("")
+        lines.append("```")
+        lines.append(section.rendered.rstrip())
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    rendered_dir: str | Path, output_path: str | Path, *, profile_name: str = "quick"
+) -> Path:
+    """Write :func:`build_report` to ``output_path``."""
+    output_path = Path(output_path)
+    output_path.write_text(build_report(rendered_dir, profile_name=profile_name))
+    return output_path

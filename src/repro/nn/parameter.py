@@ -1,0 +1,94 @@
+"""Flat parameter layout: named tensors mapped onto one 1-D array.
+
+This is the bookkeeping behind the paper's ParameterVector abstraction:
+every learnable tensor of a network occupies a contiguous slice of a
+single flat array of dimension ``d``, and is accessed as a zero-copy
+reshaped view. Keeping everything flat is what lets the parallel SGD
+algorithms treat the whole model as a single bulk-updatable object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class ParamSlot:
+    """One named tensor's placement inside the flat vector."""
+
+    name: str
+    offset: int
+    shape: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of scalar parameters in this slot."""
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    @property
+    def stop(self) -> int:
+        """One past the last flat index of this slot."""
+        return self.offset + self.size
+
+
+class ParameterLayout:
+    """Assigns contiguous flat slices to named tensors.
+
+    >>> layout = ParameterLayout()
+    >>> w = layout.add("dense0/W", (3, 2))
+    >>> b = layout.add("dense0/b", (2,))
+    >>> layout.total_size
+    8
+    """
+
+    def __init__(self) -> None:
+        self._slots: list[ParamSlot] = []
+        self._by_name: dict[str, ParamSlot] = {}
+        self._total = 0
+
+    def add(self, name: str, shape: tuple[int, ...]) -> ParamSlot:
+        """Append a tensor named ``name`` with ``shape``; returns its slot."""
+        if name in self._by_name:
+            raise ShapeError(f"duplicate parameter name {name!r}")
+        if any(s <= 0 for s in shape):
+            raise ShapeError(f"parameter {name!r} has non-positive dims: {shape}")
+        slot = ParamSlot(name, self._total, tuple(int(s) for s in shape))
+        self._slots.append(slot)
+        self._by_name[name] = slot
+        self._total += slot.size
+        return slot
+
+    @property
+    def total_size(self) -> int:
+        """The model dimension ``d``."""
+        return self._total
+
+    def view(self, theta: np.ndarray, slot: ParamSlot) -> np.ndarray:
+        """Zero-copy reshaped view of ``slot`` within flat ``theta``."""
+        if theta.ndim != 1 or theta.size < slot.stop:
+            raise ShapeError(
+                f"theta must be 1-D with size >= {slot.stop}, got shape {theta.shape}"
+            )
+        return theta[slot.offset : slot.stop].reshape(slot.shape)
+
+    def views(self, theta: np.ndarray) -> dict[str, np.ndarray]:
+        """All slots' views, keyed by name."""
+        return {slot.name: self.view(theta, slot) for slot in self._slots}
+
+    def slot(self, name: str) -> ParamSlot:
+        """Look up a slot by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ShapeError(f"unknown parameter name {name!r}") from None
+
+    def __iter__(self) -> Iterator[ParamSlot]:
+        return iter(self._slots)
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,45 @@
+"""Virtual wall-clock for the discrete-event simulator.
+
+All of the paper's time measurements (time to epsilon-convergence, time
+per iteration, memory timelines, staleness-over-time plots) are taken on
+this clock, in virtual seconds. The clock only moves forward; the
+scheduler owns advancement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """Monotonically non-decreasing simulated time, in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if not (start >= 0.0):
+            raise SimulationError(f"clock must start at a non-negative time, got {start!r}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises
+        ------
+        SimulationError
+            If ``t`` would move the clock backwards (events must be
+            processed in timestamp order).
+        """
+        if t < self._now:
+            raise SimulationError(
+                f"attempt to move the virtual clock backwards: {t!r} < {self._now!r}"
+            )
+        self._now = t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now!r})"

@@ -1,0 +1,174 @@
+"""Cost model: virtual durations of the algorithms' building blocks.
+
+The simulator charges virtual time for each action a thread performs:
+
+* ``tc`` — one stochastic-gradient computation (the paper's ``T_c``),
+* ``tu`` — one bulk parameter update ``theta -= eta * delta`` (``T_u``),
+* ``t_copy`` — copying the d-dimensional vector,
+* ``t_alloc`` — allocating a fresh ParameterVector,
+* ``t_atomic`` — one single-word atomic operation (CAS / FAA / pointer
+  load),
+* ``t_lock`` — acquiring an uncontended mutex.
+
+Section IV of the paper shows the whole contention/staleness phenomenology
+is governed by the ratio ``T_c / T_u``; the Appendix (Fig. 9) reports
+that for the MLP the ratio is comparatively low (update traffic on
+d=134,794 parameters is significant next to batch gradient computation,
+hence contention at high thread counts), while for the CNN the ratio is
+high (convolutions are compute-heavy but d=27,354 is small, hence little
+contention). The per-architecture defaults below encode those regimes;
+:func:`calibrate_cost_model` instead *measures* the actual NumPy kernel
+times on this machine, which is what the Fig. 9 bench reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.timing import time_callable
+from repro.utils.validation import check_positive, check_non_negative
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual durations (seconds) of algorithmic building blocks.
+
+    ``n_chunks`` sets the tearing granularity of unsynchronized bulk
+    memory operations (HOGWILD!'s reads and in-place writes): a bulk
+    operation of total cost ``T`` is executed as ``n_chunks`` atomic
+    pieces of cost ``T / n_chunks`` with preemption points between them.
+    """
+
+    tc: float
+    tu: float
+    t_copy: float
+    t_alloc: float = 2e-6
+    t_atomic: float = 2.5e-8
+    t_lock: float = 6e-8
+    n_chunks: int = 16
+    #: Cache-coherence contention: each *additional* thread concurrently
+    #: performing unsynchronized bulk access to the same shared buffer
+    #: multiplies a chunk's cost by ``1 + coherence_penalty`` per peer.
+    #: This models the write-sharing invalidation traffic that limits
+    #: HOGWILD!-style dense updates on real hardware (HOGWILD!'s own
+    #: analysis assumes *sparse* updates precisely to avoid it); the
+    #: consistent algorithms are unaffected — the mutex serializes
+    #: AsyncSGD's accesses, and Leashed-SGD reads immutable published
+    #: vectors (read-sharing is free) and writes private ones (P1).
+    #: ``benchmarks/test_ablation_consistency.py`` ablates this knob.
+    coherence_penalty: float = 0.75
+
+    def __post_init__(self) -> None:
+        check_positive("tc", self.tc)
+        check_positive("tu", self.tu)
+        check_non_negative("t_copy", self.t_copy)
+        check_non_negative("t_alloc", self.t_alloc)
+        check_non_negative("t_atomic", self.t_atomic)
+        check_non_negative("t_lock", self.t_lock)
+        check_non_negative("coherence_penalty", self.coherence_penalty)
+        if self.n_chunks < 1:
+            raise ConfigurationError(f"n_chunks must be >= 1, got {self.n_chunks!r}")
+
+    def contended(self, base: float, concurrent_peers: int) -> float:
+        """Cost of a bulk-chunk access with ``concurrent_peers`` other
+        threads simultaneously accessing the same shared buffer."""
+        return base * (1.0 + self.coherence_penalty * max(concurrent_peers, 0))
+
+    @property
+    def ratio(self) -> float:
+        """The governing ratio ``T_c / T_u`` of Section IV."""
+        return self.tc / self.tu
+
+    def with_chunks(self, n_chunks: int) -> "CostModel":
+        """A copy with a different tearing granularity."""
+        return replace(self, n_chunks=n_chunks)
+
+    def scaled(self, factor: float) -> "CostModel":
+        """A copy with all durations multiplied by ``factor``."""
+        check_positive("factor", factor)
+        return replace(
+            self,
+            tc=self.tc * factor,
+            tu=self.tu * factor,
+            t_copy=self.t_copy * factor,
+            t_alloc=self.t_alloc * factor,
+            t_atomic=self.t_atomic * factor,
+            t_lock=self.t_lock * factor,
+        )
+
+    # -- paper-regime defaults -----------------------------------------
+    @classmethod
+    def mlp_default(cls, d: int = 134_794) -> "CostModel":
+        """MLP regime: comparatively low ``T_c/T_u`` (contention-prone).
+
+        Durations scale linearly in d around the paper's MLP size.
+        """
+        check_positive("d", d)
+        scale = d / 134_794.0
+        return cls(tc=10e-3 * scale, tu=1.0e-3 * scale, t_copy=0.7e-3 * scale)
+
+    @classmethod
+    def cnn_default(cls, d: int = 27_354) -> "CostModel":
+        """CNN regime: high ``T_c/T_u`` (compute-heavy, low contention)."""
+        check_positive("d", d)
+        scale = d / 27_354.0
+        return cls(tc=12e-3, tu=0.2e-3 * scale, t_copy=0.14e-3 * scale)
+
+    @classmethod
+    def from_ratio(cls, *, tc: float, ratio: float, d: int | None = None) -> "CostModel":
+        """Build a model from ``T_c`` and a target ``T_c/T_u`` ratio."""
+        check_positive("tc", tc)
+        check_positive("ratio", ratio)
+        tu = tc / ratio
+        return cls(tc=tc, tu=tu, t_copy=0.7 * tu)
+
+
+def calibrate_cost_model(
+    grad_fn,
+    theta: np.ndarray,
+    *,
+    repeats: int = 3,
+    n_chunks: int = 16,
+) -> CostModel:
+    """Measure real NumPy kernel times and build a :class:`CostModel`.
+
+    Parameters
+    ----------
+    grad_fn:
+        Callable ``grad_fn(theta) -> ndarray`` computing one stochastic
+        gradient (captures model, dataset and batch size).
+    theta:
+        A parameter vector of the right dimension (used for the update /
+        copy measurements and as ``grad_fn`` input).
+
+    Returns
+    -------
+    CostModel
+        With ``tc`` / ``tu`` / ``t_copy`` set to the *minimum* observed
+        wall time of the corresponding kernel (minimum being the
+        standard low-noise estimator for calibration).
+    """
+    theta = np.ascontiguousarray(np.asarray(theta, dtype=np.float64))
+    delta = np.ones_like(theta)
+    work = theta.copy()
+
+    def do_update() -> None:
+        work[...] -= 1e-9 * delta  # in-place axpy: the ParameterVector.update kernel
+
+    def do_copy() -> None:
+        np.copyto(delta, work)
+
+    tc = time_callable(lambda: grad_fn(theta), repeats=repeats)["min"]
+    tu = time_callable(do_update, repeats=max(repeats, 5))["min"]
+    t_copy = time_callable(do_copy, repeats=max(repeats, 5))["min"]
+    # Guard against sub-resolution measurements on very small models.
+    tiny = 1e-9
+    return CostModel(
+        tc=max(tc, tiny),
+        tu=max(tu, tiny),
+        t_copy=max(t_copy, 0.0),
+        n_chunks=n_chunks,
+    )

@@ -1,0 +1,228 @@
+"""The discrete-event scheduler driving simulated threads.
+
+Threads are kept in a priority queue ordered by wake-up time; equal
+timestamps are broken by a seeded random priority, modelling the
+nondeterministic ordering of a real OS scheduler while staying fully
+replayable. Every yielded duration is multiplied by a lognormal jitter
+factor (configurable ``jitter_sigma``), modelling timing noise from
+cache misses, interrupts and hyper-thread interference — this is what
+spreads the staleness distributions the paper studies.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.sync import AcquireRequest, BarrierRequest
+from repro.sim.thread import SimThread, ThreadState
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunables of the simulated machine's scheduler.
+
+    Attributes
+    ----------
+    jitter_sigma:
+        Sigma of the multiplicative lognormal noise applied to every
+        yielded duration. 0 disables jitter (useful in unit tests).
+    speed_spread_sigma:
+        Sigma of the per-thread lognormal speed factor, modelling
+        heterogeneous effective core speeds (e.g. hyper-thread
+        siblings). 0 makes all threads equally fast.
+    max_events:
+        Hard safety cap on processed events.
+    """
+
+    jitter_sigma: float = 0.08
+    speed_spread_sigma: float = 0.05
+    max_events: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma < 0:
+            raise SimulationError(f"jitter_sigma must be >= 0, got {self.jitter_sigma!r}")
+        if self.speed_spread_sigma < 0:
+            raise SimulationError(
+                f"speed_spread_sigma must be >= 0, got {self.speed_spread_sigma!r}"
+            )
+        if self.max_events <= 0:
+            raise SimulationError(f"max_events must be > 0, got {self.max_events!r}")
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    tiebreak: float
+    seq: int
+    thread: SimThread = field(compare=False)
+
+
+class Scheduler:
+    """Runs a set of :class:`SimThread` objects over a shared
+    :class:`VirtualClock` until completion, a stop request, or a time
+    cap."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self.clock = VirtualClock()
+        self.config = config or SchedulerConfig()
+        self._rng = rng
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._threads: list[SimThread] = []
+        self._stopped = False
+        self._events_processed = 0
+        self._blocked_count = 0
+        self._suspend_after: dict[int, float] = {}
+        self._suspended: list[SimThread] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.clock.now
+
+    @property
+    def events_processed(self) -> int:
+        """Total scheduling events handled so far."""
+        return self._events_processed
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Request the run loop to terminate after the current event."""
+        self._stopped = True
+
+    # -- fault injection ----------------------------------------------
+    def suspend_after(self, thread: SimThread, time: float) -> None:
+        """Fault injection: freeze ``thread`` at its first scheduling
+        point at or after virtual ``time`` — it simply never runs again
+        (modelling a de-scheduled, crashed or wedged thread). Whatever
+        it holds (a mutex!) stays held: this is the failure mode against
+        which lock-freedom is defined, and the failure-injection tests
+        use it to demonstrate that Leashed-SGD keeps making system-wide
+        progress where the lock-based baseline stalls."""
+        self._suspend_after[thread.tid] = float(time)
+
+    @property
+    def suspended_threads(self) -> list[SimThread]:
+        """Threads frozen by :meth:`suspend_after` so far."""
+        return list(self._suspended)
+
+    # ------------------------------------------------------------------
+    def spawn(self, name: str, body_factory: Callable[[SimThread], "object"]) -> SimThread:
+        """Create, register, and schedule a thread at the current time.
+
+        ``body_factory`` receives the new :class:`SimThread` (so bodies
+        can know their own identity) and returns its generator.
+        """
+        tid = len(self._threads)
+        speed = 1.0
+        if self.config.speed_spread_sigma > 0:
+            speed = float(np.exp(self._rng.normal(0.0, self.config.speed_spread_sigma)))
+        thread = SimThread(name, tid, None, speed_factor=speed)  # type: ignore[arg-type]
+        thread._gen = body_factory(thread)  # type: ignore[attr-defined]
+        self._threads.append(thread)
+        self._schedule(thread, self.now)
+        return thread
+
+    def spawn_all(self, factories: Iterable[tuple[str, Callable[[SimThread], "object"]]]) -> list[SimThread]:
+        """Spawn a batch of threads; returns them in order."""
+        return [self.spawn(name, factory) for name, factory in factories]
+
+    # ------------------------------------------------------------------
+    def _schedule(self, thread: SimThread, at: float) -> None:
+        thread.state = ThreadState.READY
+        entry = _QueueEntry(at, float(self._rng.random()), next(self._seq), thread)
+        heapq.heappush(self._queue, entry)
+
+    def _wake(self, thread: SimThread, *, delay: float = 0.0) -> None:
+        """Wake a lock-blocked thread ``delay`` seconds from now."""
+        if thread.state is not ThreadState.BLOCKED:
+            raise SimulationError(f"waking thread {thread.name!r} that is not blocked")
+        self._blocked_count -= 1
+        self._schedule(thread, self.now + delay)
+
+    def _jitter(self, duration: float, thread: SimThread) -> float:
+        if duration < 0:
+            raise SimulationError(f"thread {thread.name!r} yielded a negative duration {duration!r}")
+        d = duration * thread.speed_factor
+        if self.config.jitter_sigma > 0 and d > 0:
+            d *= float(np.exp(self._rng.normal(0.0, self.config.jitter_sigma)))
+        return d
+
+    # ------------------------------------------------------------------
+    def run(self, *, until: float = float("inf")) -> None:
+        """Process events until no thread remains runnable, a stop is
+        requested, or virtual time would pass ``until``.
+
+        Raises
+        ------
+        DeadlockError
+            If threads remain blocked on locks but nothing can run.
+        SimulationError
+            If the ``max_events`` safety cap is hit.
+        """
+        while self._queue and not self._stopped:
+            if self._events_processed >= self.config.max_events:
+                raise SimulationError(
+                    f"scheduler exceeded max_events={self.config.max_events}; "
+                    "likely a zero-duration spin loop in a thread body"
+                )
+            entry = heapq.heappop(self._queue)
+            if entry.time > until:
+                # Put it back so a later run(until=...) continues seamlessly.
+                heapq.heappush(self._queue, entry)
+                self.clock.advance_to(until)
+                return
+            self.clock.advance_to(entry.time)
+            self._events_processed += 1
+            thread = entry.thread
+            deadline = self._suspend_after.get(thread.tid)
+            if deadline is not None and entry.time >= deadline:
+                self._suspended.append(thread)
+                del self._suspend_after[thread.tid]
+                continue  # frozen: never rescheduled, holdings kept
+            yielded = thread.step()
+            if yielded is None:
+                continue  # thread finished
+            if isinstance(yielded, (int, float)):
+                self._schedule(thread, self.now + self._jitter(float(yielded), thread))
+            elif isinstance(yielded, AcquireRequest):
+                granted = yielded.lock._on_acquire(thread, self)
+                if granted:
+                    self._schedule(thread, self.now + yielded.lock.acquire_cost)
+                else:
+                    thread.state = ThreadState.BLOCKED
+                    self._blocked_count += 1
+            elif isinstance(yielded, BarrierRequest):
+                thread.state = ThreadState.BLOCKED
+                self._blocked_count += 1
+                released = yielded.barrier._on_arrive(thread, self)
+                if released:
+                    self._wake(thread, delay=yielded.barrier.release_cost)
+            else:
+                raise SimulationError(
+                    f"thread {thread.name!r} yielded unsupported value {yielded!r}"
+                )
+        if not self._queue and self._blocked_count > 0 and not self._stopped:
+            blocked = [t.name for t in self._threads if t.state is ThreadState.BLOCKED]
+            raise DeadlockError(f"all runnable threads exhausted; blocked: {blocked}")
+
+    def close(self) -> None:
+        """Abort all live thread bodies (for early termination)."""
+        for thread in self._threads:
+            thread.close()

@@ -1,0 +1,254 @@
+"""Simulated synchronization primitives.
+
+These model the single-word atomic operations of the paper's system
+model (Section II.2): ``CompareAndSwap`` on a reference cell
+(:class:`AtomicRef`), ``FetchAndAdd`` on an integer cell
+(:class:`AtomicCounter`), plus a blocking mutex (:class:`SimLock`) for
+the lock-based AsyncSGD baseline.
+
+Because simulated-thread code between two yields executes atomically,
+the *methods* here are trivially linearizable; what makes them
+semantically faithful is that the SGD algorithms only invoke one
+shared-memory primitive per scheduling step and yield (a small
+synchronization cost) around it, so the interesting interleavings — a
+CAS failing because a competitor published first, a pointer going stale
+between load and ``start_reading`` — all occur.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque
+
+from repro.errors import SimulationError
+from repro.sim.thread import SimThread
+
+
+class AtomicCounter:
+    """An integer cell supporting fetch-and-add and read, e.g. the
+    ParameterVector sequence number ``t`` and reader count ``n_rdrs``."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = int(initial)
+
+    def load(self) -> int:
+        """Atomic read."""
+        return self._value
+
+    def fetch_add(self, delta: int) -> int:
+        """Atomically add ``delta``; return the *previous* value."""
+        old = self._value
+        self._value = old + delta
+        return old
+
+    def store(self, value: int) -> None:
+        """Atomic write (used only at initialization)."""
+        self._value = int(value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AtomicCounter({self._value})"
+
+
+class AtomicRef:
+    """A reference cell supporting load / store / compare-and-swap.
+
+    Comparison is by identity (``is``), matching pointer CAS on real
+    hardware: the ABA problem is out of scope because the paper's
+    recycling scheme never re-publishes a reclaimed instance.
+    """
+
+    __slots__ = ("_ref",)
+
+    def __init__(self, initial: Any = None) -> None:
+        self._ref = initial
+
+    def load(self) -> Any:
+        """Atomic read of the reference."""
+        return self._ref
+
+    def store(self, value: Any) -> None:
+        """Atomic unconditional write."""
+        self._ref = value
+
+    def compare_and_swap(self, expected: Any, new: Any) -> bool:
+        """If the cell holds ``expected`` (identity), write ``new``.
+
+        Returns ``True`` on success; on failure the cell is unchanged.
+        """
+        if self._ref is expected:
+            self._ref = new
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AtomicRef({self._ref!r})"
+
+
+class AtomicFlag:
+    """A boolean cell with test-and-set semantics (the ``deleted`` flag
+    of Algorithm 1, which is claimed with ``CAS(deleted, false, true)``)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, initial: bool = False) -> None:
+        self._value = bool(initial)
+
+    def load(self) -> bool:
+        """Atomic read."""
+        return self._value
+
+    def store(self, value: bool) -> None:
+        """Atomic write."""
+        self._value = bool(value)
+
+    def test_and_set(self) -> bool:
+        """Atomically set to True; return whether *this* call claimed it
+        (i.e. the previous value was False)."""
+        claimed = not self._value
+        self._value = True
+        return claimed
+
+
+@dataclass(frozen=True)
+class AcquireRequest:
+    """Yielded by a simulated thread to block on a :class:`SimLock`."""
+
+    lock: "SimLock"
+
+
+class SimBarrier:
+    """A reusable m-party barrier, built on the lock/park machinery.
+
+    Used by the synchronous-SGD comparator: workers wait until all m
+    have arrived, then are released together. Implemented as a SimLock
+    variant: arrivals park; the last arrival wakes everyone.
+
+    Protocol: a thread yields ``barrier.arrive()``; when resumed, the
+    whole cohort has arrived. The last arriver is charged
+    ``release_cost`` (it performs the wake-ups); the rest resume free.
+    """
+
+    __slots__ = ("name", "parties", "_waiting", "release_cost", "_scheduler", "generation")
+
+    def __init__(self, name: str, parties: int, *, release_cost: float = 0.0) -> None:
+        if parties < 1:
+            raise SimulationError(f"barrier parties must be >= 1, got {parties}")
+        if release_cost < 0:
+            raise SimulationError(f"release_cost must be >= 0, got {release_cost}")
+        self.name = name
+        self.parties = int(parties)
+        self._waiting: list[SimThread] = []
+        self.release_cost = float(release_cost)
+        self._scheduler = None
+        #: Completed barrier rounds (for tests / tracing).
+        self.generation = 0
+
+    def arrive(self) -> "BarrierRequest":
+        """Build the request to ``yield`` from a simulated thread."""
+        return BarrierRequest(self)
+
+    # -- scheduler protocol ---------------------------------------------
+    def _on_arrive(self, thread: SimThread, scheduler) -> bool:
+        """Returns True if this arrival releases the cohort."""
+        self._scheduler = scheduler
+        self._waiting.append(thread)
+        if len(self._waiting) >= self.parties:
+            waiters, self._waiting = self._waiting, []
+            self.generation += 1
+            # Wake everyone except the releasing thread (the scheduler
+            # reschedules that one itself, charged release_cost).
+            for waiter in waiters:
+                if waiter is not thread:
+                    scheduler._wake(waiter, delay=self.release_cost)
+            return True
+        return False
+
+    @property
+    def n_waiting(self) -> int:
+        """Threads currently parked at the barrier."""
+        return len(self._waiting)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SimBarrier({self.name!r}, {len(self._waiting)}/{self.parties})"
+
+
+@dataclass(frozen=True)
+class BarrierRequest:
+    """Yielded by a simulated thread to wait on a :class:`SimBarrier`."""
+
+    barrier: "SimBarrier"
+
+
+class SimLock:
+    """A blocking mutex with a FIFO wait queue.
+
+    Waiters park until the holder releases; the scheduler charges
+    ``acquire_cost`` virtual seconds for a successful (uncontended or
+    woken) acquisition, modelling the atomic-instruction + cache-line
+    transfer cost of a real lock.
+    """
+
+    __slots__ = ("name", "_owner", "_waiters", "acquire_cost", "_scheduler")
+
+    def __init__(self, name: str = "lock", *, acquire_cost: float = 0.0) -> None:
+        if acquire_cost < 0:
+            raise SimulationError(f"acquire_cost must be >= 0, got {acquire_cost!r}")
+        self.name = name
+        self._owner: SimThread | None = None
+        self._waiters: Deque[SimThread] = deque()
+        self.acquire_cost = float(acquire_cost)
+        self._scheduler = None  # set by Scheduler.add_lock / first acquire
+
+    # -- protocol used by simulated threads -------------------------------
+    def acquire(self) -> AcquireRequest:
+        """Build the request to ``yield`` from a simulated thread."""
+        return AcquireRequest(self)
+
+    def release(self, thread: SimThread) -> None:
+        """Release the mutex (called inline, between yields).
+
+        Wakes the first waiter, if any, scheduling it at the current
+        virtual time plus ``acquire_cost``.
+        """
+        if self._owner is not thread:
+            raise SimulationError(
+                f"thread {thread.name!r} released lock {self.name!r} "
+                f"owned by {getattr(self._owner, 'name', None)!r}"
+            )
+        if self._waiters:
+            next_thread = self._waiters.popleft()
+            self._owner = next_thread
+            if self._scheduler is None:
+                raise SimulationError(f"lock {self.name!r} has waiters but no scheduler attached")
+            self._scheduler._wake(next_thread, delay=self.acquire_cost)
+        else:
+            self._owner = None
+
+    # -- protocol used by the scheduler ------------------------------------
+    def _on_acquire(self, thread: SimThread, scheduler) -> bool:
+        """Handle an acquire request. Returns True if granted now."""
+        self._scheduler = scheduler
+        if self._owner is None:
+            self._owner = thread
+            return True
+        self._waiters.append(thread)
+        return False
+
+    @property
+    def owner(self) -> SimThread | None:
+        """The current holder (None if free)."""
+        return self._owner
+
+    @property
+    def n_waiters(self) -> int:
+        """Number of parked threads — a direct contention measurement."""
+        return len(self._waiters)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SimLock({self.name!r}, owner={getattr(self._owner, 'name', None)!r}, "
+            f"waiters={len(self._waiters)})"
+        )

@@ -1,0 +1,193 @@
+"""Event tracing for simulated SGD executions.
+
+The paper's evaluation needs several per-event series: published updates
+with their staleness (Fig. 6 / 7-right), CAS attempt outcomes and
+dropped gradients (persistence-bound behaviour, Section IV.2), LAU-SPC
+retry-loop occupancy over time (to validate eq. (4)/(5)), and lock wait
+times (lock contention of the AsyncSGD baseline). The
+:class:`TraceRecorder` collects these cheaply as typed records and
+offers the aggregations the benches print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """One *published* SGD update."""
+
+    time: float
+    thread: int
+    seq: int  # global sequence number of the update (total order)
+    staleness: int  # tau = tau_c + tau_s, per Section II.2
+    cas_failures: int = 0  # failed CAS attempts before this publish (Leashed)
+
+
+@dataclass(frozen=True)
+class DroppedGradientRecord:
+    """A gradient abandoned because the persistence bound was exceeded."""
+
+    time: float
+    thread: int
+    cas_failures: int
+
+
+@dataclass(frozen=True)
+class RetryLoopRecord:
+    """One thread's stay inside the LAU-SPC retry loop."""
+
+    enter_time: float
+    exit_time: float
+    thread: int
+    attempts: int
+    published: bool
+
+
+@dataclass(frozen=True)
+class LockWaitRecord:
+    """One lock acquisition: how long the thread waited."""
+
+    request_time: float
+    acquire_time: float
+    thread: int
+
+
+@dataclass(frozen=True)
+class ViewDivergenceRecord:
+    """Elastic-consistency measurement (Alistarh et al. [2]): the L2
+    distance between a worker's gradient-input view and the globally
+    current parameter vector at read time."""
+
+    time: float
+    thread: int
+    l2: float
+
+
+class TraceRecorder:
+    """Accumulates execution events; aggregation methods feed the benches."""
+
+    def __init__(self) -> None:
+        self.updates: list[UpdateRecord] = []
+        self.dropped: list[DroppedGradientRecord] = []
+        self.retry_loops: list[RetryLoopRecord] = []
+        self.lock_waits: list[LockWaitRecord] = []
+        self.view_divergences: list[ViewDivergenceRecord] = []
+
+    # -- recording ----------------------------------------------------
+    def record_update(self, record: UpdateRecord) -> None:
+        """Append a published-update record."""
+        self.updates.append(record)
+
+    def record_dropped(self, record: DroppedGradientRecord) -> None:
+        """Append a dropped-gradient record."""
+        self.dropped.append(record)
+
+    def record_retry_loop(self, record: RetryLoopRecord) -> None:
+        """Append a completed LAU-SPC loop stay."""
+        self.retry_loops.append(record)
+
+    def record_lock_wait(self, record: LockWaitRecord) -> None:
+        """Append a lock wait."""
+        self.lock_waits.append(record)
+
+    def record_view_divergence(self, record: ViewDivergenceRecord) -> None:
+        """Append an elastic-consistency measurement."""
+        self.view_divergences.append(record)
+
+    # -- aggregations ----------------------------------------------------
+    @property
+    def n_updates(self) -> int:
+        """Number of published updates (global SGD iterations)."""
+        return len(self.updates)
+
+    def staleness_values(self) -> np.ndarray:
+        """All observed staleness values, in publish order."""
+        return np.asarray([u.staleness for u in self.updates], dtype=int)
+
+    def staleness_summary(self) -> dict[str, float]:
+        """Mean / median / p90 / max staleness (NaN when no updates)."""
+        values = self.staleness_values()
+        if values.size == 0:
+            nan = float("nan")
+            return {"mean": nan, "median": nan, "p90": nan, "max": nan}
+        return {
+            "mean": float(values.mean()),
+            "median": float(np.median(values)),
+            "p90": float(np.percentile(values, 90)),
+            "max": float(values.max()),
+        }
+
+    def staleness_over_time(self, *, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+        """Mean staleness per time bin — the x/y of Fig. 6's trend."""
+        if not self.updates:
+            return np.zeros(0), np.zeros(0)
+        times = np.asarray([u.time for u in self.updates])
+        values = np.asarray([u.staleness for u in self.updates], dtype=float)
+        edges = np.linspace(0.0, float(times.max()) or 1.0, bins + 1)
+        which = np.clip(np.digitize(times, edges) - 1, 0, bins - 1)
+        sums = np.bincount(which, weights=values, minlength=bins)
+        counts = np.bincount(which, minlength=bins)
+        with np.errstate(invalid="ignore"):
+            means = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        return centers, means
+
+    def retry_loop_occupancy(self, *, resolution: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Number of threads inside the LAU-SPC loop as a step function,
+        sampled at ``resolution`` points — the measured counterpart of
+        the analytical ``n_t`` of eq. (4)/(5)."""
+        if not self.retry_loops:
+            return np.zeros(0), np.zeros(0)
+        deltas: list[tuple[float, int]] = []
+        for r in self.retry_loops:
+            deltas.append((r.enter_time, +1))
+            deltas.append((r.exit_time, -1))
+        deltas.sort()
+        times = np.asarray([t for t, _ in deltas])
+        curve = np.cumsum([d for _, d in deltas])
+        sample_t = np.linspace(0.0, float(times.max()), max(2, resolution))
+        idx = np.searchsorted(times, sample_t, side="right") - 1
+        occupancy = np.where(idx >= 0, curve[np.clip(idx, 0, None)], 0.0)
+        return sample_t, occupancy
+
+    def cas_failure_rate(self) -> float:
+        """Failed CAS attempts / total CAS attempts across the run."""
+        failures = sum(u.cas_failures for u in self.updates) + sum(
+            d.cas_failures for d in self.dropped
+        )
+        successes = len(self.updates)
+        total = failures + successes
+        return failures / total if total else 0.0
+
+    def mean_lock_wait(self) -> float:
+        """Mean time spent blocked on the mutex (0 when lock-free)."""
+        if not self.lock_waits:
+            return 0.0
+        waits = [w.acquire_time - w.request_time for w in self.lock_waits]
+        return float(np.mean(waits))
+
+    def view_divergence_summary(self) -> dict[str, float]:
+        """Mean / p90 / max of the recorded elastic-consistency L2
+        distances (NaN when the instrumentation was off)."""
+        values = np.asarray([r.l2 for r in self.view_divergences])
+        if values.size == 0:
+            nan = float("nan")
+            return {"mean": nan, "p90": nan, "max": nan}
+        return {
+            "mean": float(values.mean()),
+            "p90": float(np.percentile(values, 90)),
+            "max": float(values.max()),
+        }
+
+    def updates_per_thread(self, m: int) -> np.ndarray:
+        """Published-update counts per thread id (thread balance)."""
+        counts = np.zeros(int(m), dtype=int)
+        for u in self.updates:
+            if 0 <= u.thread < m:
+                counts[u.thread] += 1
+        return counts

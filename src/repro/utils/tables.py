@@ -1,0 +1,133 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+The benchmark harness regenerates every table/figure of the paper as
+text: numeric tables, box-plot summaries (min / q1 / median / q3 / max,
+plus Diverge/Crash tallies, mirroring the paper's box plots), and
+down-sampled time series. Keeping this in one module means every bench
+prints in one consistent format that EXPERIMENTS.md can quote verbatim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def _fmt(value: object, width: int = 0) -> str:
+    if isinstance(value, float):
+        if math.isnan(value):
+            text = "nan"
+        elif abs(value) >= 1e5 or (abs(value) < 1e-3 and value != 0):
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *, title: str = "") -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def five_number_summary(values: Sequence[float]) -> dict[str, float]:
+    """min / q1 / median / q3 / max of ``values`` (NaN-safe, empty-safe)."""
+    arr = np.asarray([v for v in values if v is not None and np.isfinite(v)], dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return {"min": nan, "q1": nan, "median": nan, "q3": nan, "max": nan, "n": 0}
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    return {
+        "min": float(arr.min()),
+        "q1": float(q1),
+        "median": float(med),
+        "q3": float(q3),
+        "max": float(arr.max()),
+        "n": int(arr.size),
+    }
+
+
+def render_boxes(
+    groups: dict[str, Sequence[float]],
+    *,
+    title: str = "",
+    unit: str = "",
+    failures: dict[str, tuple[int, int]] | None = None,
+) -> str:
+    """Render the box statistics the paper's box plots carry.
+
+    Parameters
+    ----------
+    groups:
+        Mapping from label (e.g. algorithm name) to the sample of
+        per-run measurements.
+    failures:
+        Optional mapping label -> (n_diverged, n_crashed), mirroring the
+        paper's 'Diverge' / 'Crash' annotations.
+    """
+    headers = ["label", "n", "min", "q1", "median", "q3", "max", "diverge", "crash"]
+    rows = []
+    for label, values in groups.items():
+        s = five_number_summary(values)
+        dv, cr = (failures or {}).get(label, (0, 0))
+        rows.append([label, s["n"], s["min"], s["q1"], s["median"], s["q3"], s["max"], dv, cr])
+    header_title = title + (f"  [{unit}]" if unit else "")
+    return render_table(headers, rows, title=header_title)
+
+
+def render_series(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    points: int = 12,
+) -> str:
+    """Render named (x, y) curves down-sampled to ``points`` rows."""
+    lines = [title] if title else []
+    for label, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        if xs.size != ys.size:
+            raise ValueError(f"series {label!r}: x and y lengths differ ({xs.size} vs {ys.size})")
+        if xs.size == 0:
+            lines.append(f"-- {label}: (empty)")
+            continue
+        idx = np.unique(np.linspace(0, xs.size - 1, min(points, xs.size)).astype(int))
+        rows = [[_fmt(float(xs[i])), _fmt(float(ys[i]))] for i in idx]
+        lines.append(render_table([x_label, y_label], rows, title=f"-- {label}"))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], *, width: int = 40) -> str:
+    """A one-line unicode sparkline, for quick visual sanity in logs."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size == 0:
+        return "(no finite data)"
+    if arr.size > width:
+        idx = np.linspace(0, arr.size - 1, width).astype(int)
+        arr = arr[idx]
+    ticks = "▁▂▃▄▅▆▇█"
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi <= lo:
+        return ticks[0] * arr.size
+    scaled = ((arr - lo) / (hi - lo) * (len(ticks) - 1)).astype(int)
+    return "".join(ticks[i] for i in scaled)

@@ -1,0 +1,71 @@
+"""Real wall-clock timing helpers.
+
+Used only where *real* time matters: calibrating the simulator's cost
+model against actual NumPy kernel timings (paper Fig. 9), and the
+pytest-benchmark harness. Simulated experiments use the virtual clock in
+:mod:`repro.sim.clock` instead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass
+class WallTimer:
+    """Accumulating stopwatch based on ``time.perf_counter``.
+
+    >>> t = WallTimer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is None:
+            raise RuntimeError("WallTimer exited without entering")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+
+def time_callable(
+    fn: Callable[[], object],
+    *,
+    repeats: int = 5,
+    warmup: int = 1,
+) -> dict[str, float]:
+    """Time ``fn`` with warm-up, returning summary statistics in seconds.
+
+    Returns a dict with ``min``, ``median``, ``mean`` and ``max`` over
+    ``repeats`` timed calls. ``min`` is the most robust estimate of the
+    kernel cost (least scheduling noise) and is what the cost-model
+    calibration uses.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    for _ in range(max(0, warmup)):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    arr = np.asarray(samples)
+    return {
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+        "max": float(arr.max()),
+    }

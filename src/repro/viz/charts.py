@@ -1,0 +1,261 @@
+"""Chart types over the SVG canvas: framed axes plus line series,
+category box plots, histograms and step functions.
+
+One :class:`Chart` is one plot panel: it owns the margins, the x/y
+scales, axis rendering, and a legend. The paper's figures are assembled
+from these in :mod:`repro.viz.figures`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.tables import five_number_summary
+from repro.viz.scale import LinearScale
+from repro.viz.svg import SvgCanvas
+
+#: Color-blind-friendly categorical palette (Okabe-Ito).
+PALETTE = (
+    "#0072B2",  # blue
+    "#D55E00",  # vermillion
+    "#009E73",  # green
+    "#CC79A7",  # purple
+    "#E69F00",  # orange
+    "#56B4E9",  # sky
+    "#F0E442",  # yellow
+    "#000000",  # black
+)
+
+
+@dataclass
+class Margins:
+    left: int = 64
+    right: int = 16
+    top: int = 36
+    bottom: int = 46
+
+
+class Chart:
+    """A single framed plot panel."""
+
+    def __init__(
+        self,
+        *,
+        width: int = 520,
+        height: int = 340,
+        title: str = "",
+        x_label: str = "",
+        y_label: str = "",
+        margins: Margins | None = None,
+    ) -> None:
+        self.canvas = SvgCanvas(width, height)
+        self.margins = margins or Margins()
+        self.title = title
+        self.x_label = x_label
+        self.y_label = y_label
+        self._x_scale: LinearScale | None = None
+        self._y_scale: LinearScale | None = None
+        self._legend: list[tuple[str, str]] = []  # (label, color)
+        self._category_labels: list[str] = []
+
+    # -- frame geometry ----------------------------------------------------
+    @property
+    def plot_box(self) -> tuple[float, float, float, float]:
+        """(x0, y0, x1, y1) of the data area in pixels."""
+        m = self.margins
+        return (m.left, m.top, self.canvas.width - m.right, self.canvas.height - m.bottom)
+
+    def set_scales(
+        self,
+        x_domain: tuple[float, float],
+        y_domain: tuple[float, float],
+        *,
+        y_pad: float = 0.05,
+    ) -> None:
+        """Fix the data domains; must be called before plotting."""
+        x0, y0, x1, y1 = self.plot_box
+        span = (y_domain[1] - y_domain[0]) or 1.0
+        padded = (y_domain[0] - y_pad * span, y_domain[1] + y_pad * span)
+        self._x_scale = LinearScale(x_domain, (x0, x1))
+        self._y_scale = LinearScale(padded, (y1, y0))  # flipped: SVG y grows down
+
+    def _require_scales(self) -> tuple[LinearScale, LinearScale]:
+        if self._x_scale is None or self._y_scale is None:
+            raise ConfigurationError("Chart.set_scales must be called before plotting")
+        return self._x_scale, self._y_scale
+
+    # -- axes / chrome ----------------------------------------------------
+    def draw_frame(self, *, x_ticks: Sequence[float] | None = None,
+                   y_ticks: Sequence[float] | None = None, grid: bool = True) -> None:
+        """Axes, ticks, grid lines, axis labels and title."""
+        xs, ys = self._require_scales()
+        x0, y0, x1, y1 = self.plot_box
+        c = self.canvas
+        if self.title:
+            c.text((x0 + x1) / 2, y0 - 14, self.title, size=13, anchor="middle", bold=True)
+        x_ticks = list(x_ticks) if x_ticks is not None else xs.ticks()
+        y_ticks = list(y_ticks) if y_ticks is not None else ys.ticks()
+        for t in y_ticks:
+            py = ys(t)
+            if grid:
+                c.line(x0, py, x1, py, stroke="#ddd", width=0.7)
+            c.line(x0 - 4, py, x0, py, stroke="#444", width=1)
+            c.text(x0 - 7, py + 3.5, f"{t:g}", size=10, anchor="end")
+        for t in x_ticks:
+            px = xs(t)
+            c.line(px, y1, px, y1 + 4, stroke="#444", width=1)
+            c.text(px, y1 + 16, f"{t:g}", size=10, anchor="middle")
+        # frame
+        c.line(x0, y0, x0, y1, stroke="#444", width=1.2)
+        c.line(x0, y1, x1, y1, stroke="#444", width=1.2)
+        if self.x_label:
+            c.text((x0 + x1) / 2, y1 + 34, self.x_label, size=11, anchor="middle")
+        if self.y_label:
+            c.text(x0 - 46, (y0 + y1) / 2, self.y_label, size=11, anchor="middle",
+                   rotate=-90)
+
+    def draw_category_axis(self, labels: Sequence[str], *, rotate: bool = False) -> None:
+        """Label x positions 0..len-1 with category names."""
+        xs, _ = self._require_scales()
+        _, _, _, y1 = self.plot_box
+        self._category_labels = list(labels)
+        for i, label in enumerate(labels):
+            px = xs(i)
+            if rotate:
+                self.canvas.text(px, y1 + 14, label, size=10, anchor="end", rotate=-30)
+            else:
+                self.canvas.text(px, y1 + 16, label, size=10, anchor="middle")
+
+    def draw_legend(self, *, x: float | None = None, y: float | None = None) -> None:
+        """Color swatches + labels, top-right by default."""
+        if not self._legend:
+            return
+        x0, y0, x1, _ = self.plot_box
+        lx = x if x is not None else x1 - 120
+        ly = y if y is not None else y0 + 8
+        for i, (label, color) in enumerate(self._legend):
+            yy = ly + i * 15
+            self.canvas.rect(lx, yy - 8, 10, 10, fill=color, stroke="none")
+            self.canvas.text(lx + 14, yy + 1, label, size=10)
+
+    # -- marks -------------------------------------------------------------
+    def add_line(
+        self, xs_data: Sequence[float], ys_data: Sequence[float],
+        *, label: str = "", color: str | None = None, dash: str | None = None,
+        width: float = 1.8,
+    ) -> None:
+        """A line series; NaNs split the polyline."""
+        xs, ys = self._require_scales()
+        color = color or PALETTE[len(self._legend) % len(PALETTE)]
+        if label:
+            self._legend.append((label, color))
+        segment: list[tuple[float, float]] = []
+        for xd, yd in zip(xs_data, ys_data):
+            if np.isfinite(xd) and np.isfinite(yd):
+                segment.append((xs(xd), ys(yd)))
+            else:
+                self.canvas.polyline(segment, stroke=color, width=width, dash=dash)
+                segment = []
+        self.canvas.polyline(segment, stroke=color, width=width, dash=dash)
+
+    def add_box(
+        self, position: float, values: Sequence[float],
+        *, color: str = PALETTE[0], box_width: float = 0.5,
+        failures: tuple[int, int] | None = None,
+    ) -> None:
+        """One box-and-whiskers at category ``position`` (data units).
+
+        ``failures`` renders the paper's Diverge/Crash count annotation
+        above the box slot.
+        """
+        xs, ys = self._require_scales()
+        x0p, y0p, _, _ = self.plot_box
+        cx = xs(position)
+        half = abs(xs(position + box_width / 2) - cx)
+        stats = five_number_summary(values)
+        if stats["n"] > 0:
+            top, bottom = ys(stats["q3"]), ys(stats["q1"])
+            self.canvas.line(cx, ys(stats["min"]), cx, bottom, stroke=color, width=1.2)
+            self.canvas.line(cx, top, cx, ys(stats["max"]), stroke=color, width=1.2)
+            for whisker in ("min", "max"):
+                wy = ys(stats[whisker])
+                self.canvas.line(cx - half * 0.6, wy, cx + half * 0.6, wy, stroke=color, width=1.2)
+            self.canvas.rect(cx - half, top, 2 * half, bottom - top,
+                             fill=color, stroke=color, opacity=0.35)
+            my = ys(stats["median"])
+            self.canvas.line(cx - half, my, cx + half, my, stroke=color, width=2.0)
+        if failures and (failures[0] or failures[1]):
+            n_div, n_crash = failures
+            parts = []
+            if n_div:
+                parts.append(f"D:{n_div}")
+            if n_crash:
+                parts.append(f"C:{n_crash}")
+            self.canvas.text(cx, y0p + 10, " ".join(parts), size=9, anchor="middle",
+                             color="#C00")
+
+    def add_histogram(
+        self, values: Sequence[float], *, bins: int = 20,
+        color: str = PALETTE[0], label: str = "", density: bool = True,
+    ) -> None:
+        """A bar histogram of ``values`` over the current x domain."""
+        xs, ys = self._require_scales()
+        lo, hi = sorted(xs.domain)
+        arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+        if arr.size == 0:
+            return
+        counts, edges = np.histogram(arr, bins=bins, range=(lo, hi), density=density)
+        if label:
+            self._legend.append((label, color))
+        base = ys(0.0)
+        for count, e0, e1 in zip(counts, edges[:-1], edges[1:]):
+            if count <= 0:
+                continue
+            x_left, x_right = xs(e0), xs(e1)
+            y_top = ys(count)
+            self.canvas.rect(x_left, y_top, x_right - x_left, base - y_top,
+                             fill=color, stroke="none", opacity=0.45)
+
+    def add_step(
+        self, xs_data: Sequence[float], ys_data: Sequence[float],
+        *, label: str = "", color: str | None = None, width: float = 1.5,
+    ) -> None:
+        """A right-continuous step function (memory timelines)."""
+        xs, ys = self._require_scales()
+        color = color or PALETTE[len(self._legend) % len(PALETTE)]
+        if label:
+            self._legend.append((label, color))
+        points: list[tuple[float, float]] = []
+        prev_y: float | None = None
+        for xd, yd in zip(xs_data, ys_data):
+            if not (np.isfinite(xd) and np.isfinite(yd)):
+                continue
+            px, py = xs(xd), ys(yd)
+            if prev_y is not None:
+                points.append((px, prev_y))
+            points.append((px, py))
+            prev_y = py
+        self.canvas.polyline(points, stroke=color, width=width)
+
+    def add_hline(self, y_value: float, *, color: str = "#888", dash: str = "4,3",
+                  label: str = "") -> None:
+        """A horizontal reference line (analytic fixed points etc.)."""
+        xs, ys = self._require_scales()
+        x0, _, x1, _ = self.plot_box
+        py = ys(y_value)
+        self.canvas.line(x0, py, x1, py, stroke=color, width=1.2, dash=dash)
+        if label:
+            self.canvas.text(x1 - 4, py - 4, label, size=9, anchor="end", color=color)
+
+    # -- output -------------------------------------------------------------
+    def render(self) -> str:
+        """The panel as an SVG string."""
+        return self.canvas.render()
+
+    def save(self, path) -> "Path":  # noqa: F821
+        """Write the panel to ``path``."""
+        return self.canvas.save(path)

@@ -1,0 +1,66 @@
+"""Linear scales and tick generation for chart axes."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+
+def nice_ticks(lo: float, hi: float, *, n: int = 5) -> list[float]:
+    """~n 'nice' tick positions covering [lo, hi].
+
+    Uses the classic 1-2-5 progression. Degenerate ranges get a single
+    tick at the value.
+    """
+    if not (math.isfinite(lo) and math.isfinite(hi)):
+        raise ConfigurationError(f"tick range must be finite, got [{lo}, {hi}]")
+    if hi < lo:
+        lo, hi = hi, lo
+    if hi == lo:
+        return [lo]
+    raw_step = (hi - lo) / max(n, 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * magnitude
+        if raw_step <= step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9 * step:
+        # snap floating error to the step grid
+        ticks.append(round(value / step) * step)
+        value += step
+    return ticks or [lo]
+
+
+class LinearScale:
+    """Affine map from a data domain to a pixel range.
+
+    The range may be decreasing (SVG's y axis grows downward, so y
+    scales typically map ``lo -> bottom`` with ``bottom > top``).
+    """
+
+    def __init__(self, domain: tuple[float, float], range_: tuple[float, float]) -> None:
+        d0, d1 = float(domain[0]), float(domain[1])
+        if not (math.isfinite(d0) and math.isfinite(d1)):
+            raise ConfigurationError(f"scale domain must be finite, got {domain}")
+        if d0 == d1:
+            d1 = d0 + 1.0  # avoid a zero span; all points map to range start
+        self.domain = (d0, d1)
+        self.range = (float(range_[0]), float(range_[1]))
+
+    def __call__(self, value: float) -> float:
+        d0, d1 = self.domain
+        r0, r1 = self.range
+        t = (float(value) - d0) / (d1 - d0)
+        return r0 + t * (r1 - r0)
+
+    def ticks(self, n: int = 5) -> list[float]:
+        """Nice tick values within the domain."""
+        lo, hi = sorted(self.domain)
+        return [t for t in nice_ticks(lo, hi, n=n) if lo - 1e-12 <= t <= hi + 1e-12]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LinearScale(domain={self.domain}, range={self.range})"

@@ -1,0 +1,181 @@
+"""Tests for the Section IV analytical models — including the
+cross-check that the closed form (eq. 5) matches the recurrence (eq. 4)
+and that the simulator's measured LAU-SPC occupancy lands near the
+predicted fixed point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import (
+    expected_compute_staleness,
+    expected_scheduling_staleness,
+    expected_total_staleness,
+    persistence_gamma,
+)
+from repro.analysis.dynamics import (
+    fixed_point,
+    fixed_point_with_persistence,
+    is_stable,
+    occupancy_closed_form,
+    occupancy_recurrence,
+)
+from repro.analysis.memory_model import (
+    baseline_instances,
+    leashed_expected_instances,
+    leashed_max_instances,
+    predicted_memory_bytes,
+)
+from repro.errors import ConfigurationError
+
+
+class TestRecurrenceAndClosedForm:
+    def test_closed_form_matches_recurrence(self):
+        m, tc, tu = 16, 10.0, 2.0
+        rec = occupancy_recurrence(m, tc, tu, n0=3.0, steps=60)
+        closed = occupancy_closed_form(m, tc, tu, np.arange(61), n0=3.0)
+        np.testing.assert_allclose(rec, closed, rtol=1e-10)
+
+    def test_converges_to_fixed_point(self):
+        m, tc, tu = 32, 8.0, 2.0
+        n_star = fixed_point(m, tc, tu)
+        rec = occupancy_recurrence(m, tc, tu, n0=0.0, steps=500)
+        assert rec[-1] == pytest.approx(n_star, rel=1e-6)
+
+    def test_any_initial_condition_converges(self):
+        m, tc, tu = 16, 10.0, 2.0
+        n_star = fixed_point(m, tc, tu)
+        for n0 in (0.0, 5.0, 16.0):
+            rec = occupancy_recurrence(m, tc, tu, n0=n0, steps=400)
+            assert rec[-1] == pytest.approx(n_star, rel=1e-6)
+
+    def test_fixed_point_is_stationary(self):
+        m, tc, tu = 16, 10.0, 2.0
+        n_star = fixed_point(m, tc, tu)
+        rec = occupancy_recurrence(m, tc, tu, n0=n_star, steps=10)
+        np.testing.assert_allclose(rec, n_star, rtol=1e-12)
+
+    def test_scalar_closed_form(self):
+        value = occupancy_closed_form(8, 5.0, 2.0, 3)
+        assert isinstance(value, float) and value >= 0
+
+    def test_stability_condition(self):
+        assert is_stable(10.0, 2.0)
+        assert not is_stable(1.0, 1.0)  # decay factor -1: oscillates
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            occupancy_recurrence(0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            fixed_point(4, -1.0, 1.0)
+
+
+class TestFixedPoints:
+    def test_corollary_3_1_formula(self):
+        assert fixed_point(16, 10.0, 2.0) == pytest.approx(16 / 6.0)
+
+    def test_balance_depends_only_on_ratio(self):
+        # n*/m = Tu / (Tu + Tc): scaling both durations changes nothing.
+        a = fixed_point(16, 10.0, 2.0)
+        b = fixed_point(16, 100.0, 20.0)
+        assert a == pytest.approx(b)
+
+    def test_persistence_shifts_fixed_point_down(self):
+        base = fixed_point(16, 10.0, 2.0)
+        shifted = fixed_point_with_persistence(16, 10.0, 2.0, gamma=1.0)
+        assert shifted < base
+
+    def test_gamma_infinity_vanishes(self):
+        assert fixed_point_with_persistence(16, 10.0, 2.0, float("inf")) == 0.0
+
+    def test_gamma_zero_recovers_base(self):
+        assert fixed_point_with_persistence(16, 10.0, 2.0, 0.0) == pytest.approx(
+            fixed_point(16, 10.0, 2.0)
+        )
+
+
+class TestContention:
+    def test_persistence_gamma_mapping(self):
+        assert persistence_gamma(float("inf")) == 0.0
+        assert persistence_gamma(0) == 1.0
+        assert persistence_gamma(1) == 0.5
+        # monotone decreasing in the bound
+        assert persistence_gamma(0) > persistence_gamma(1) > persistence_gamma(10)
+
+    def test_tau_s_zero_at_ps0(self):
+        assert expected_scheduling_staleness(16, 10.0, 2.0, persistence=0) == 0.0
+
+    def test_tau_s_monotone_in_persistence(self):
+        values = [
+            expected_scheduling_staleness(16, 10.0, 2.0, persistence=p)
+            for p in (0, 1, 5, float("inf"))
+        ]
+        assert values == sorted(values)
+
+    def test_tau_c_grows_with_m(self):
+        assert expected_compute_staleness(32, 10.0, 2.0) > expected_compute_staleness(8, 10.0, 2.0)
+
+    def test_tau_c_single_thread_zero(self):
+        assert expected_compute_staleness(1, 10.0, 2.0) == 0.0
+
+    def test_total_is_sum(self):
+        total = expected_total_staleness(16, 10.0, 2.0, persistence=1)
+        parts = expected_compute_staleness(16, 10.0, 2.0) + expected_scheduling_staleness(
+            16, 10.0, 2.0, persistence=1
+        )
+        assert total == pytest.approx(parts)
+
+
+class TestMemoryModel:
+    def test_baseline_formula(self):
+        assert baseline_instances(16) == 33
+
+    def test_leashed_bound_formula(self):
+        assert leashed_max_instances(16) == 48
+
+    def test_expected_below_bound(self):
+        expected = leashed_expected_instances(16, tc=10.0, tu=1.0, t_copy=0.7)
+        assert expected < leashed_max_instances(16)
+
+    def test_high_ratio_saves_memory_vs_baseline(self):
+        # CNN regime (Tc >> Tu): Leashed's expected live count drops
+        # below the baselines' constant 2m+1 — the paper's ~17% saving.
+        m = 16
+        expected = leashed_expected_instances(m, tc=12.0, tu=0.2, t_copy=0.14)
+        assert expected < baseline_instances(m)
+
+    def test_predicted_bytes(self):
+        assert predicted_memory_bytes(10, d=1000, itemsize=4) == 40_000
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            baseline_instances(0)
+        with pytest.raises(ConfigurationError):
+            predicted_memory_bytes(1, d=0)
+
+
+class TestModelVsSimulator:
+    """Validate eq. (4)/(5) against the *measured* retry-loop occupancy
+    of real Leashed-SGD executions (the ablation of DESIGN.md §6)."""
+
+    def test_measured_occupancy_near_fixed_point(self):
+        from tests.core.conftest import run_algorithm
+        from repro.sim.cost import CostModel
+
+        # Strong contention so the loop occupancy is clearly nonzero.
+        tc, tu, m = 2e-3, 1e-3, 12
+        cost = CostModel(tc=tc, tu=tu, t_copy=0.2e-3)
+        execution = run_algorithm(
+            "LSH_psinf", m=m, cost=cost, seed=11,
+            epsilons=(0.5, 0.05), target_epsilon=0.05,
+        )
+        t, occ = execution.trace.retry_loop_occupancy(resolution=200)
+        assert t.size > 0
+        steady = occ[len(occ) // 2 :]
+        measured = float(np.mean(steady))
+        # The retry loop's work per pass is t_copy + tu (+ pointer ops),
+        # so the model's "T_u" is the full loop-body duration.
+        n_star = fixed_point(m, tc, tu + 0.2e-3)
+        assert measured == pytest.approx(n_star, rel=0.5)
+        assert 0 < measured < m

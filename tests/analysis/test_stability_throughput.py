@@ -1,0 +1,129 @@
+"""Tests for the stability-frontier and throughput models."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stability import max_stable_eta, predicted_frontier, stability_margin
+from repro.analysis.throughput import (
+    predicted_speedup,
+    predicted_time_per_update,
+    saturation_threads,
+)
+from repro.errors import ConfigurationError
+from repro.sim.cost import CostModel
+
+
+class TestMaxStableEta:
+    def test_zero_delay_recovers_classic_bound(self):
+        assert max_stable_eta(1.0, 0) == pytest.approx(2.0)
+        assert max_stable_eta(4.0, 0) == pytest.approx(0.5)
+
+    def test_decreasing_in_delay(self):
+        values = [max_stable_eta(1.0, tau) for tau in (0, 1, 2, 5, 20)]
+        assert values == sorted(values, reverse=True)
+
+    def test_large_delay_asymptotics(self):
+        tau = 500.0
+        # 2*sin(x) ~ 2x for small x, with x = pi / (2*(2*tau+1))
+        assert max_stable_eta(1.0, tau) == pytest.approx(math.pi / (2 * tau + 1), rel=1e-3)
+
+    def test_fractional_delay_interpolates(self):
+        assert max_stable_eta(1.0, 0) > max_stable_eta(1.0, 0.5) > max_stable_eta(1.0, 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            max_stable_eta(0.0, 1)
+        with pytest.raises(ConfigurationError):
+            max_stable_eta(1.0, -1)
+
+
+class TestPredictedFrontier:
+    def test_persistence_extends_frontier(self):
+        # Tighter persistence -> lower tau -> larger stable eta.
+        loose = predicted_frontier(16, 10.0, 2.0, persistence=float("inf"))
+        tight = predicted_frontier(16, 10.0, 2.0, persistence=0)
+        assert tight > loose
+
+    def test_frontier_shrinks_with_threads(self):
+        few = predicted_frontier(4, 10.0, 2.0)
+        many = predicted_frontier(64, 10.0, 2.0)
+        assert many < few
+
+    def test_single_thread_recovers_sequential_bound(self):
+        assert predicted_frontier(1, 10.0, 2.0, persistence=0) == pytest.approx(2.0)
+
+    def test_stability_margin(self):
+        assert stability_margin(0.5, 1.0, 0) == pytest.approx(4.0)
+        assert stability_margin(4.0, 1.0, 0) < 1.0  # outside the region
+
+
+class TestThroughputModel:
+    @pytest.fixture
+    def cost(self):
+        return CostModel(tc=10e-3, tu=1e-3, t_copy=0.7e-3)
+
+    def test_seq(self, cost):
+        assert predicted_time_per_update("SEQ", 1, cost) == pytest.approx(cost.tc + cost.tu)
+
+    def test_async_scales_then_saturates(self, cost):
+        t4 = predicted_time_per_update("ASYNC", 4, cost)
+        t64 = predicted_time_per_update("ASYNC", 64, cost)
+        t1000 = predicted_time_per_update("ASYNC", 1000, cost)
+        assert t4 > t64
+        assert t64 == pytest.approx(cost.t_copy + cost.tu)  # saturated
+        assert t1000 == t64  # flat once saturated (Fig 3 right)
+
+    def test_saturation_knee(self, cost):
+        knee = saturation_threads("ASYNC", cost)
+        before = predicted_time_per_update("ASYNC", int(knee) - 1, cost)
+        after = predicted_time_per_update("ASYNC", int(knee) + 2, cost)
+        assert before > after or before == pytest.approx(after, rel=0.2)
+        assert saturation_threads("HOG", cost) == float("inf")
+
+    def test_hog_pays_coherence(self, cost):
+        no_penalty = CostModel(tc=cost.tc, tu=cost.tu, t_copy=cost.t_copy,
+                               coherence_penalty=0.0)
+        assert predicted_time_per_update("HOG", 16, cost) > predicted_time_per_update(
+            "HOG", 16, no_penalty
+        )
+
+    def test_lsh_close_to_async_shape(self, cost):
+        lsh = predicted_time_per_update("LSH_psinf", 16, cost)
+        asy = predicted_time_per_update("ASYNC", 16, cost)
+        assert lsh == pytest.approx(asy, rel=0.25)
+
+    def test_speedup_monotone_up_to_saturation(self, cost):
+        speedups = [predicted_speedup("LSH_ps0", m, cost) for m in (1, 2, 4, 8)]
+        assert speedups == sorted(speedups)
+        assert speedups[0] <= 1.2  # ~1 at a single thread
+
+    def test_unknown_algorithm_rejected(self, cost):
+        with pytest.raises(ConfigurationError):
+            predicted_time_per_update("MAGIC", 4, cost)
+        with pytest.raises(ConfigurationError):
+            saturation_threads("MAGIC", cost)
+
+
+class TestModelAgainstSimulator:
+    """The models must predict the simulator's measurements to first
+    order (a factor ~2 band — they are deliberately coarse)."""
+
+    @pytest.mark.parametrize("algorithm,m", [("SEQ", 1), ("ASYNC", 8), ("HOG", 8), ("LSH_psinf", 8)])
+    def test_time_per_update_within_band(self, algorithm, m):
+        from repro.harness.runner import run_once
+        from repro.core.problem import QuadraticProblem
+        from tests.conftest import make_run_config
+
+        cost = CostModel(tc=10e-3, tu=1e-3, t_copy=0.7e-3)
+        problem = QuadraticProblem(64, h=1.0, b=2.0, noise_sigma=0.05)
+        result = run_once(problem, cost, make_run_config(algorithm=algorithm, m=m, eta=0.05))
+        predicted = predicted_time_per_update(algorithm, m, cost)
+        ratio = result.time_per_update / predicted
+        assert 0.5 < ratio < 2.2, (
+            f"{algorithm} m={m}: measured {result.time_per_update:.2e} vs "
+            f"predicted {predicted:.2e} (ratio {ratio:.2f})"
+        )

@@ -1,0 +1,81 @@
+"""Shared fixtures for the test suite.
+
+Everything here is intentionally small-scale: unit tests use tiny
+networks / problems so the whole suite runs in seconds; the paper-scale
+paths are exercised by ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import QuadraticProblem
+from repro.harness.config import Profile, RunConfig, Workloads
+from repro.sim.cost import CostModel
+from repro.utils.rng import RngFactory
+
+
+@pytest.fixture
+def rng_factory() -> RngFactory:
+    return RngFactory(12345)
+
+
+@pytest.fixture
+def rng(rng_factory: RngFactory) -> np.random.Generator:
+    return rng_factory.named("test")
+
+
+@pytest.fixture
+def quadratic() -> QuadraticProblem:
+    """Small convex diagnostic problem."""
+    return QuadraticProblem(32, h=1.0, b=1.5, noise_sigma=0.05)
+
+
+@pytest.fixture
+def cost_model() -> CostModel:
+    """Contention-prone cost model (low Tc/Tu) to exercise races."""
+    return CostModel(tc=5e-3, tu=1e-3, t_copy=0.5e-3, n_chunks=8)
+
+
+@pytest.fixture
+def tiny_profile() -> Profile:
+    """A miniature profile for harness-level integration tests."""
+    return Profile(
+        name="quick",
+        n_train=512,
+        n_eval=128,
+        batch_size=64,
+        cnn_batch_size=32,
+        repeats=2,
+        thread_counts=(1, 4),
+        high_parallelism=(8,),
+        max_updates=600,
+        max_virtual_time=20.0,
+        max_wall_seconds=20.0,
+        step_sizes=(0.01, 0.05),
+        mlp_epsilons=(0.75, 0.5),
+        cnn_epsilons=(0.75, 0.5),
+    )
+
+
+@pytest.fixture
+def tiny_workloads(tiny_profile: Profile) -> Workloads:
+    return Workloads(tiny_profile)
+
+
+def make_run_config(**overrides) -> RunConfig:
+    """Convenience builder with fast-test defaults."""
+    defaults = dict(
+        algorithm="LSH_psinf",
+        m=4,
+        eta=0.05,
+        seed=7,
+        epsilons=(0.5, 0.1),
+        target_epsilon=0.1,
+        max_updates=20_000,
+        max_virtual_time=100.0,
+        max_wall_seconds=30.0,
+    )
+    defaults.update(overrides)
+    return RunConfig(**defaults)

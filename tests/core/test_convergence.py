@@ -1,0 +1,146 @@
+"""Unit tests for the convergence monitor (thresholds, statuses, caps)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceMonitor, ConvergenceReport, RunStatus
+from repro.errors import ConfigurationError
+
+
+class MonitorHarness:
+    """Drive a monitor body directly with a scripted loss sequence."""
+
+    def __init__(self, losses, *, epsilons=(0.5, 0.1), target=None, **kwargs):
+        self.losses = iter(losses)
+        self.now = 0.0
+        self.updates = 0
+        self.stopped = False
+        self.monitor = ConvergenceMonitor(
+            eval_fn=self._eval,
+            n_updates_fn=lambda: self.updates,
+            epsilons=epsilons,
+            target_epsilon=target,
+            eval_interval=1.0,
+            stop_fn=self._stop,
+            now_fn=lambda: self.now,
+            **kwargs,
+        )
+
+    def _eval(self):
+        return next(self.losses)
+
+    def _stop(self):
+        self.stopped = True
+
+    def run(self, max_steps=100):
+        gen = self.monitor.body()
+        try:
+            for _ in range(max_steps):
+                next(gen)
+                self.now += 1.0
+                self.updates += 3
+                if self.stopped:
+                    gen.close()
+                    break
+        except StopIteration:
+            pass
+        return self.monitor.report
+
+
+class TestThresholds:
+    def test_records_crossings_in_order(self):
+        report = MonitorHarness([10.0, 6.0, 4.9, 2.0, 0.9]).run()
+        assert report.status is RunStatus.CONVERGED
+        assert set(report.threshold_times) == {0.5, 0.1}
+        t50, _ = report.threshold_times[0.5]
+        t10, _ = report.threshold_times[0.1]
+        assert t50 < t10
+
+    def test_threshold_relative_to_initial_loss(self):
+        report = MonitorHarness([100.0, 49.0, 9.0]).run()
+        assert report.initial_loss == 100.0
+        assert 0.5 in report.threshold_times and 0.1 in report.threshold_times
+
+    def test_update_counts_recorded(self):
+        report = MonitorHarness([10.0, 0.5]).run()
+        _, n = report.threshold_times[0.1]
+        assert n > 0
+
+    def test_time_to_nan_when_unreached(self):
+        report = MonitorHarness([10.0] * 3, max_virtual_time=2.0).run()
+        assert np.isnan(report.time_to(0.1))
+        assert np.isnan(report.updates_to(0.1))
+
+
+class TestStatuses:
+    def test_crash_on_nan(self):
+        report = MonitorHarness([10.0, float("nan")]).run()
+        assert report.status is RunStatus.CRASHED
+
+    def test_crash_on_nan_at_init(self):
+        report = MonitorHarness([float("nan")]).run()
+        assert report.status is RunStatus.CRASHED
+
+    def test_crash_on_inf(self):
+        report = MonitorHarness([10.0, float("inf")]).run()
+        assert report.status is RunStatus.CRASHED
+
+    def test_diverge_on_time_budget(self):
+        report = MonitorHarness([10.0] * 50, max_virtual_time=5.0).run()
+        assert report.status is RunStatus.DIVERGED
+
+    def test_diverge_on_update_budget(self):
+        report = MonitorHarness([10.0] * 50, max_updates=9).run()
+        assert report.status is RunStatus.DIVERGED
+
+    def test_converged_stops_early(self):
+        harness = MonitorHarness([10.0, 0.5] + [0.5] * 50)
+        report = harness.run()
+        assert report.status is RunStatus.CONVERGED
+        assert len(report.curve_loss) == 2  # stopped right after crossing
+
+    def test_curve_accumulates(self):
+        report = MonitorHarness([10.0, 8.0, 6.0, 0.1]).run()
+        assert report.curve_loss == [10.0, 8.0, 6.0, 0.1]
+        assert report.curve_t == [0.0, 1.0, 2.0, 3.0]
+
+
+class TestValidation:
+    def _make(self, **kwargs):
+        return ConvergenceMonitor(
+            eval_fn=lambda: 1.0,
+            n_updates_fn=lambda: 0,
+            stop_fn=lambda: None,
+            now_fn=lambda: 0.0,
+            **kwargs,
+        )
+
+    def test_empty_epsilons_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._make(epsilons=(), eval_interval=1.0)
+
+    def test_out_of_range_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._make(epsilons=(1.5,), eval_interval=1.0)
+
+    def test_target_must_be_member(self):
+        with pytest.raises(ConfigurationError):
+            self._make(epsilons=(0.5, 0.1), target_epsilon=0.2, eval_interval=1.0)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._make(epsilons=(0.5,), eval_interval=0.0)
+
+    def test_default_target_is_smallest(self):
+        mon = self._make(epsilons=(0.5, 0.1, 0.25), eval_interval=1.0)
+        assert mon.target_epsilon == 0.1
+        assert mon.epsilons == (0.5, 0.25, 0.1)
+
+
+class TestReport:
+    def test_fresh_report_defaults(self):
+        report = ConvergenceReport()
+        assert report.status is RunStatus.RUNNING
+        assert np.isnan(report.time_to(0.5))

@@ -1,0 +1,108 @@
+"""Tests for run configuration, profiles and workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.config import (
+    PROFILE_PAPER,
+    PROFILE_QUICK,
+    Profile,
+    RunConfig,
+    Workloads,
+    get_profile,
+)
+
+
+class TestRunConfig:
+    def test_defaults_valid(self):
+        cfg = RunConfig(algorithm="ASYNC", m=4)
+        assert cfg.eta > 0
+
+    def test_seq_requires_m1(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(algorithm="SEQ", m=2)
+        RunConfig(algorithm="SEQ", m=1)  # fine
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(algorithm="ASYNC", m=0)
+
+    def test_invalid_eta(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(algorithm="ASYNC", m=2, eta=0.0)
+
+    def test_target_must_be_member(self):
+        with pytest.raises(ConfigurationError):
+            RunConfig(algorithm="ASYNC", m=2, epsilons=(0.5,), target_epsilon=0.1)
+
+    def test_with_seed(self):
+        cfg = RunConfig(algorithm="ASYNC", m=2, seed=1)
+        cfg2 = cfg.with_seed(99)
+        assert cfg2.seed == 99 and cfg2.algorithm == "ASYNC"
+        assert cfg.seed == 1  # frozen original untouched
+
+
+class TestProfiles:
+    def test_quick_smaller_than_paper(self):
+        assert PROFILE_QUICK.n_train < PROFILE_PAPER.n_train
+        assert PROFILE_QUICK.repeats < PROFILE_PAPER.repeats
+
+    def test_paper_matches_paper_parameters(self):
+        assert PROFILE_PAPER.n_train == 60_000
+        assert PROFILE_PAPER.batch_size == 512
+        assert PROFILE_PAPER.repeats == 11
+        assert 68 in PROFILE_PAPER.thread_counts
+        assert PROFILE_PAPER.mlp_epsilons[-1] == 0.025  # the 2.5% target
+
+    def test_get_profile_by_name(self):
+        assert get_profile("quick") is PROFILE_QUICK
+        assert get_profile("paper") is PROFILE_PAPER
+
+    def test_get_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "paper")
+        assert get_profile() is PROFILE_PAPER
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert get_profile() is PROFILE_QUICK
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_profile("gigantic")
+
+    def test_invalid_profile_fields(self):
+        with pytest.raises(ConfigurationError):
+            Profile(
+                name="x", n_train=0, n_eval=1, batch_size=1, cnn_batch_size=1,
+                repeats=1, thread_counts=(1,), high_parallelism=(1,),
+                max_updates=1, max_virtual_time=1.0, max_wall_seconds=1.0,
+                step_sizes=(0.1,), mlp_epsilons=(0.5,), cnn_epsilons=(0.5,),
+            )
+
+
+class TestWorkloads:
+    def test_problem_kinds(self, tiny_workloads):
+        assert tiny_workloads.problem("quadratic").d == 256
+        with pytest.raises(ConfigurationError):
+            tiny_workloads.problem("transformer")
+
+    def test_mlp_problem_shapes(self, tiny_workloads):
+        p = tiny_workloads.mlp_problem
+        assert p.d == 134_794
+        assert p.train_x.shape == (tiny_workloads.profile.n_train, 784)
+        assert p.batch_size == tiny_workloads.profile.batch_size
+
+    def test_cnn_problem_shapes(self, tiny_workloads):
+        p = tiny_workloads.cnn_problem
+        assert p.d == 27_354
+        assert p.train_x.shape[1:] == (1, 28, 28)
+        assert p.batch_size == tiny_workloads.profile.cnn_batch_size
+
+    def test_problems_cached(self, tiny_workloads):
+        assert tiny_workloads.mlp_problem is tiny_workloads.mlp_problem
+
+    def test_cost_regimes(self, tiny_workloads):
+        assert tiny_workloads.cost("cnn").ratio > tiny_workloads.cost("mlp").ratio
+        with pytest.raises(ConfigurationError):
+            tiny_workloads.cost("gpu")

@@ -1,0 +1,109 @@
+"""Integration tests for the S1-S5 experiment functions (micro scale:
+quadratic-speed problems would be ideal, but the experiments are wired
+to the MLP/CNN workloads, so we use a miniature profile and few
+algorithms/repeats to keep this fast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import (
+    TABLE_I,
+    render_table_i,
+    s1_scalability,
+    s1_stepsize,
+    s2_high_precision,
+    s3_cnn,
+    s5_memory,
+)
+
+
+@pytest.fixture(scope="module")
+def micro_workloads():
+    from repro.harness.config import Profile, Workloads
+
+    profile = Profile(
+        name="quick",
+        n_train=512,
+        n_eval=128,
+        batch_size=64,
+        cnn_batch_size=32,
+        repeats=1,
+        thread_counts=(1, 4),
+        high_parallelism=(4,),
+        max_updates=400,
+        max_virtual_time=20.0,
+        max_wall_seconds=20.0,
+        step_sizes=(0.02, 0.05),
+        mlp_epsilons=(0.75, 0.5),
+        cnn_epsilons=(0.75, 0.5),
+        default_eta=0.02,
+    )
+    return Workloads(profile)
+
+
+class TestS1Scalability:
+    def test_produces_boxes_and_text(self, micro_workloads):
+        res = s1_scalability(
+            micro_workloads, algorithms=("SEQ", "LSH_ps0"), thread_counts=(1, 4)
+        )
+        assert "Fig 3" in res.text
+        assert any("LSH_ps0/m=4" in k for k in res.data["boxes"])
+        assert len(res.runs) == 3  # SEQ@1 + LSH@1 + LSH@4
+
+    def test_parallel_beats_sequential(self, micro_workloads):
+        res = s1_scalability(
+            micro_workloads, algorithms=("SEQ", "LSH_psinf"), thread_counts=(4,)
+        )
+        seq = res.data["boxes"]["SEQ/m=1"]
+        par = res.data["boxes"]["LSH_psinf/m=4"]
+        assert seq and par
+        assert np.median(par) < np.median(seq)
+
+
+class TestS1Stepsize:
+    def test_sweeps_etas(self, micro_workloads):
+        res = s1_stepsize(
+            micro_workloads, algorithms=("ASYNC",), etas=(0.02, 0.05), m=4, repeats=1
+        )
+        assert set(res.data["boxes"]) == {"ASYNC/eta=0.02", "ASYNC/eta=0.05"}
+        assert "statistical efficiency" in res.text
+
+
+class TestS2S3:
+    def test_s2_structure(self, micro_workloads):
+        res = s2_high_precision(
+            micro_workloads, m=4, algorithms=("ASYNC", "LSH_ps0"), repeats=1
+        )
+        assert 0.5 in res.data["per_eps"]
+        assert "ASYNC" in res.data["curves"]
+        assert res.data["staleness"]["LSH_ps0"].size > 0
+        assert "Staleness distribution" in res.text
+
+    def test_s3_runs_cnn(self, micro_workloads):
+        res = s3_cnn(micro_workloads, m=2, algorithms=("LSH_ps0",), repeats=1)
+        assert res.runs[0].config.algorithm == "LSH_ps0"
+        assert "CNN" in res.text
+
+
+class TestS5Memory:
+    def test_memory_table(self, micro_workloads):
+        res = s5_memory(
+            micro_workloads, thread_counts=(4,), kinds=("mlp",),
+            algorithms=("ASYNC", "LSH_psinf"), max_updates=60,
+        )
+        async_stats = res.data[("mlp", 4, "ASYNC")]
+        lsh_stats = res.data[("mlp", 4, "LSH_psinf")]
+        assert async_stats["peak_count"] == 2 * 4 + 1
+        assert lsh_stats["peak_count"] <= 3 * 4 + 1
+        assert "memory consumption" in res.text
+
+
+class TestTableI:
+    def test_covers_all_steps(self):
+        assert [row["step"] for row in TABLE_I] == ["S1", "S2", "S3", "S4", "S5"]
+
+    def test_render(self):
+        text = render_table_i()
+        assert "Table I" in text and "s3_cnn" in text

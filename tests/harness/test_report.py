@@ -1,0 +1,51 @@
+"""Tests for the reproduction-report builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import (
+    PAPER_EXPECTATIONS,
+    build_report,
+    collect_sections,
+    write_report,
+)
+
+
+class TestCollectSections:
+    def test_all_expectations_present(self, tmp_path):
+        sections = collect_sections(tmp_path)
+        assert {s.experiment_id for s in sections} == set(PAPER_EXPECTATIONS)
+
+    def test_missing_render_placeholder(self, tmp_path):
+        sections = collect_sections(tmp_path)
+        assert all("not regenerated" in s.rendered for s in sections)
+
+    def test_render_picked_up(self, tmp_path):
+        (tmp_path / "S1_Fig3.txt").write_text("measured stuff")
+        sections = {s.experiment_id: s for s in collect_sections(tmp_path)}
+        assert sections["S1/Fig3"].rendered == "measured stuff"
+
+
+class TestBuildReport:
+    def test_contains_every_section(self, tmp_path):
+        text = build_report(tmp_path)
+        for experiment_id in PAPER_EXPECTATIONS:
+            assert experiment_id in text
+
+    def test_profile_name_mentioned(self, tmp_path):
+        assert "paper" in build_report(tmp_path, profile_name="paper")
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path, tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text().startswith("# Reproduction report")
+
+
+class TestExpectations:
+    def test_expectations_mention_key_claims(self):
+        joined = " ".join(PAPER_EXPECTATIONS.values())
+        assert "2m+1" in joined
+        assert "65 s" in joined  # the paper's S2 headline number
+        assert "17%" in joined  # the CNN memory claim
+        assert "4x" in joined  # the CNN speedup claim

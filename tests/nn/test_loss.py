@@ -1,0 +1,89 @@
+"""Tests for softmax cross-entropy (values, gradients, stability)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.loss import cross_entropy_from_probs, softmax, softmax_cross_entropy
+
+
+class TestSoftmax:
+    def test_uniform_logits(self):
+        p = softmax(np.zeros((2, 4)))
+        np.testing.assert_allclose(p, 0.25)
+
+    def test_invariant_to_shift(self):
+        logits = np.random.default_rng(0).normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0), atol=1e-12)
+
+    def test_extreme_logits_finite(self):
+        p = softmax(np.array([[1e308, -1e308]]))
+        assert np.all(np.isfinite(p))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        loss, _ = softmax_cross_entropy(logits, np.array([0]))
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_loss_is_log_k(self):
+        k = 10
+        loss, _ = softmax_cross_entropy(np.zeros((4, k)), np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(k))
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        num = np.zeros_like(logits)
+        for idx in np.ndindex(*logits.shape):
+            lp = logits.copy(); lp[idx] += eps
+            lm = logits.copy(); lm[idx] -= eps
+            num[idx] = (softmax_cross_entropy(lp, labels)[0] - softmax_cross_entropy(lm, labels)[0]) / (2 * eps)
+        np.testing.assert_allclose(grad, num, atol=1e-8)
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(6, 3))
+        _, grad = softmax_cross_entropy(logits, rng.integers(0, 3, size=6))
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_label_range_validation(self):
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ShapeError):
+            softmax_cross_entropy(np.zeros((2, 3)), np.array([-1, 0]))
+
+    def test_large_logits_no_overflow(self):
+        loss, grad = softmax_cross_entropy(np.array([[1000.0, -1000.0]]), np.array([1]))
+        assert np.isfinite(loss) and np.all(np.isfinite(grad))
+
+
+class TestCrossEntropyFromProbs:
+    def test_matches_fused_version(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=(8, 5))
+        labels = rng.integers(0, 5, size=8)
+        fused, _ = softmax_cross_entropy(logits, labels)
+        split = cross_entropy_from_probs(softmax(logits), labels)
+        assert split == pytest.approx(fused, rel=1e-9)
+
+    def test_zero_prob_clipped(self):
+        probs = np.array([[0.0, 1.0]])
+        loss = cross_entropy_from_probs(probs, np.array([0]))
+        assert np.isfinite(loss) and loss > 10
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            cross_entropy_from_probs(np.zeros(3), np.zeros(3, dtype=int))

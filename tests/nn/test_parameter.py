@@ -1,0 +1,67 @@
+"""Tests for the flat parameter layout."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.parameter import ParameterLayout
+
+
+class TestParameterLayout:
+    def test_offsets_are_contiguous(self):
+        layout = ParameterLayout()
+        a = layout.add("a", (3, 2))
+        b = layout.add("b", (4,))
+        assert a.offset == 0 and a.stop == 6
+        assert b.offset == 6 and b.stop == 10
+        assert layout.total_size == 10
+
+    def test_duplicate_name_rejected(self):
+        layout = ParameterLayout()
+        layout.add("w", (2,))
+        with pytest.raises(ShapeError):
+            layout.add("w", (3,))
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ShapeError):
+            ParameterLayout().add("w", (0, 3))
+
+    def test_view_is_zero_copy(self):
+        layout = ParameterLayout()
+        slot = layout.add("w", (2, 3))
+        theta = np.arange(6, dtype=float)
+        view = layout.view(theta, slot)
+        assert view.shape == (2, 3)
+        view[0, 0] = 99.0
+        assert theta[0] == 99.0  # writes propagate: it is a view
+
+    def test_view_wrong_theta_rejected(self):
+        layout = ParameterLayout()
+        slot = layout.add("w", (4,))
+        with pytest.raises(ShapeError):
+            layout.view(np.zeros(2), slot)
+        with pytest.raises(ShapeError):
+            layout.view(np.zeros((4, 1)), slot)
+
+    def test_views_dict(self):
+        layout = ParameterLayout()
+        layout.add("a", (2,))
+        layout.add("b", (3,))
+        views = layout.views(np.zeros(5))
+        assert set(views) == {"a", "b"}
+
+    def test_slot_lookup(self):
+        layout = ParameterLayout()
+        layout.add("a", (2,))
+        assert layout.slot("a").name == "a"
+        with pytest.raises(ShapeError):
+            layout.slot("missing")
+
+    def test_iteration_and_len(self):
+        layout = ParameterLayout()
+        layout.add("a", (1,))
+        layout.add("b", (1,))
+        assert len(layout) == 2
+        assert [s.name for s in layout] == ["a", "b"]

@@ -1,0 +1,143 @@
+"""Tests for SimBarrier and scheduler fault injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.scheduler import Scheduler, SchedulerConfig
+from repro.sim.sync import SimBarrier
+from repro.utils.rng import RngFactory
+
+
+def make_scheduler(seed=1):
+    return Scheduler(
+        RngFactory(seed).named("s"),
+        SchedulerConfig(jitter_sigma=0.0, speed_spread_sigma=0.0),
+    )
+
+
+class TestBarrier:
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            SimBarrier("b", 0)
+        with pytest.raises(SimulationError):
+            SimBarrier("b", 2, release_cost=-1.0)
+
+    def test_all_parties_released_together(self):
+        sched = make_scheduler()
+        barrier = SimBarrier("b", 3)
+        release_times = []
+
+        def body(thread):
+            def gen():
+                yield 0.1 * (thread.tid + 1)  # staggered arrival
+                yield barrier.arrive()
+                release_times.append(sched.now)
+            return gen()
+
+        for i in range(3):
+            sched.spawn(f"w{i}", body)
+        sched.run()
+        # nobody proceeds before the slowest arrival at t=0.3
+        assert min(release_times) >= 0.3
+        assert barrier.generation == 1
+
+    def test_reusable_across_rounds(self):
+        sched = make_scheduler()
+        barrier = SimBarrier("b", 2)
+        rounds_done = []
+
+        def body(thread):
+            def gen():
+                for r in range(5):
+                    yield 0.01 * (thread.tid + 1)
+                    yield barrier.arrive()
+                    rounds_done.append((thread.tid, r))
+            return gen()
+
+        for i in range(2):
+            sched.spawn(f"w{i}", body)
+        sched.run()
+        assert barrier.generation == 5
+        assert len(rounds_done) == 10
+
+    def test_single_party_barrier_never_blocks(self):
+        sched = make_scheduler()
+        barrier = SimBarrier("b", 1)
+
+        def body(thread):
+            def gen():
+                for _ in range(3):
+                    yield barrier.arrive()
+                    yield 0.1
+            return gen()
+
+        sched.spawn("w", body)
+        sched.run()
+        assert barrier.generation == 3
+
+    def test_release_cost_charged(self):
+        sched = make_scheduler()
+        barrier = SimBarrier("b", 2, release_cost=0.5)
+
+        def body(thread):
+            def gen():
+                yield barrier.arrive()
+            return gen()
+
+        sched.spawn("a", body)
+        sched.spawn("b", body)
+        sched.run()
+        assert sched.now == pytest.approx(0.5)
+
+    def test_missing_party_deadlocks(self):
+        from repro.errors import DeadlockError
+
+        sched = make_scheduler()
+        barrier = SimBarrier("b", 3)  # only 2 threads will ever arrive
+
+        def body(thread):
+            def gen():
+                yield barrier.arrive()
+            return gen()
+
+        sched.spawn("a", body)
+        sched.spawn("b", body)
+        with pytest.raises(DeadlockError):
+            sched.run()
+
+
+class TestSuspendAfter:
+    def test_suspended_thread_stops_running(self):
+        sched = make_scheduler()
+        ticks = {0: 0, 1: 0}
+
+        def body(thread):
+            def gen():
+                for _ in range(100):
+                    ticks[thread.tid] += 1
+                    yield 0.01
+            return gen()
+
+        t0 = sched.spawn("w0", body)
+        sched.spawn("w1", body)
+        sched.suspend_after(t0, 0.055)
+        sched.run()
+        assert ticks[1] == 100
+        assert ticks[0] < 10  # frozen early
+        assert sched.suspended_threads == [t0]
+
+    def test_suspension_exactly_once(self):
+        sched = make_scheduler()
+
+        def body(thread):
+            def gen():
+                while True:
+                    yield 0.01
+            return gen()
+
+        t = sched.spawn("w", body)
+        sched.suspend_after(t, 0.0)
+        sched.run(until=1.0)
+        assert len(sched.suspended_threads) == 1

@@ -1,0 +1,35 @@
+"""Tests for the virtual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(3.5).now == 3.5
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualClock(-1.0)
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(2.0)
+        assert clock.now == 2.0
+
+    def test_advance_to_same_time_ok(self):
+        clock = VirtualClock(1.0)
+        clock.advance_to(1.0)
+        assert clock.now == 1.0
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.999)

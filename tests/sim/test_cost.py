@@ -1,0 +1,109 @@
+"""Tests for the cost model and its calibration path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.cost import CostModel, calibrate_cost_model
+
+
+class TestCostModel:
+    def test_ratio(self):
+        cm = CostModel(tc=10.0, tu=2.0, t_copy=1.0)
+        assert cm.ratio == pytest.approx(5.0)
+
+    @pytest.mark.parametrize("field,value", [("tc", 0), ("tu", -1), ("t_copy", -0.1)])
+    def test_invalid_durations(self, field, value):
+        kwargs = dict(tc=1.0, tu=1.0, t_copy=0.1)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            CostModel(**kwargs)
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(tc=1, tu=1, t_copy=0, n_chunks=0)
+
+    def test_with_chunks(self):
+        cm = CostModel(tc=1, tu=1, t_copy=0).with_chunks(4)
+        assert cm.n_chunks == 4
+
+    def test_scaled(self):
+        cm = CostModel(tc=2.0, tu=1.0, t_copy=0.5).scaled(10.0)
+        assert cm.tc == pytest.approx(20.0)
+        assert cm.tu == pytest.approx(10.0)
+        assert cm.ratio == pytest.approx(2.0)
+
+    def test_scaled_invalid(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(tc=1, tu=1, t_copy=0).scaled(0)
+
+    def test_mlp_default_regime(self):
+        cm = CostModel.mlp_default()
+        assert 2 <= cm.ratio <= 30  # contention-prone regime
+
+    def test_cnn_default_regime(self):
+        cm = CostModel.cnn_default()
+        assert cm.ratio > CostModel.mlp_default().ratio  # compute-heavy
+
+    def test_defaults_scale_with_dimension(self):
+        small = CostModel.mlp_default(d=10_000)
+        big = CostModel.mlp_default(d=100_000)
+        assert big.tu > small.tu
+
+    def test_from_ratio(self):
+        cm = CostModel.from_ratio(tc=1.0, ratio=4.0)
+        assert cm.ratio == pytest.approx(4.0)
+
+    def test_frozen(self):
+        cm = CostModel(tc=1, tu=1, t_copy=0)
+        with pytest.raises(AttributeError):
+            cm.tc = 2.0
+
+
+class TestCalibration:
+    def test_calibrate_produces_positive_model(self):
+        theta = np.zeros(50_000)
+
+        def grad_fn(t):
+            return t * 2.0
+
+        cm = calibrate_cost_model(grad_fn, theta, repeats=2)
+        assert cm.tc > 0 and cm.tu > 0 and cm.t_copy >= 0
+
+    def test_calibrate_orders_heavy_gradient(self):
+        theta = np.zeros(20_000)
+
+        def heavy_grad(t):
+            out = t.copy()
+            for _ in range(30):
+                out = out * 1.0001 + 1.0
+            return out
+
+        cm = calibrate_cost_model(heavy_grad, theta, repeats=2)
+        assert cm.tc > cm.tu  # gradient work dominates an axpy
+
+    def test_calibrate_respects_chunks(self):
+        cm = calibrate_cost_model(lambda t: t, np.zeros(100), repeats=1, n_chunks=7)
+        assert cm.n_chunks == 7
+
+
+class TestCoherencePenalty:
+    def test_contended_scales_linearly_with_peers(self):
+        cm = CostModel(tc=1.0, tu=1.0, t_copy=0.1, coherence_penalty=0.5)
+        assert cm.contended(2.0, 0) == pytest.approx(2.0)
+        assert cm.contended(2.0, 1) == pytest.approx(3.0)
+        assert cm.contended(2.0, 4) == pytest.approx(6.0)
+
+    def test_negative_peer_count_clamped(self):
+        cm = CostModel(tc=1.0, tu=1.0, t_copy=0.1, coherence_penalty=0.5)
+        assert cm.contended(2.0, -3) == pytest.approx(2.0)
+
+    def test_zero_penalty_disables(self):
+        cm = CostModel(tc=1.0, tu=1.0, t_copy=0.1, coherence_penalty=0.0)
+        assert cm.contended(2.0, 10) == pytest.approx(2.0)
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(tc=1.0, tu=1.0, t_copy=0.1, coherence_penalty=-0.1)

@@ -1,0 +1,97 @@
+"""Tests for trace recording and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import (
+    DroppedGradientRecord,
+    LockWaitRecord,
+    RetryLoopRecord,
+    TraceRecorder,
+    UpdateRecord,
+)
+
+
+@pytest.fixture
+def trace():
+    return TraceRecorder()
+
+
+def add_updates(trace, stalenesses, *, dt=1.0):
+    for i, tau in enumerate(stalenesses):
+        trace.record_update(UpdateRecord(time=i * dt, thread=i % 3, seq=i, staleness=tau))
+
+
+class TestStaleness:
+    def test_values_in_order(self, trace):
+        add_updates(trace, [0, 2, 1])
+        np.testing.assert_array_equal(trace.staleness_values(), [0, 2, 1])
+
+    def test_summary(self, trace):
+        add_updates(trace, [0, 10, 2, 4])
+        s = trace.staleness_summary()
+        assert s["mean"] == 4.0 and s["max"] == 10
+
+    def test_summary_empty_is_nan(self, trace):
+        assert np.isnan(trace.staleness_summary()["mean"])
+
+    def test_staleness_over_time_bins(self, trace):
+        add_updates(trace, [0] * 10 + [10] * 10)
+        centers, means = trace.staleness_over_time(bins=2)
+        assert means[0] < means[1]
+
+    def test_staleness_over_time_empty(self, trace):
+        centers, means = trace.staleness_over_time()
+        assert centers.size == 0
+
+
+class TestOccupancy:
+    def test_occupancy_counts_overlap(self, trace):
+        trace.record_retry_loop(RetryLoopRecord(0.0, 10.0, 0, 1, True))
+        trace.record_retry_loop(RetryLoopRecord(5.0, 15.0, 1, 2, True))
+        t, occ = trace.retry_loop_occupancy(resolution=100)
+        mid = np.searchsorted(t, 7.0)
+        assert occ[mid] == 2
+        assert occ[np.searchsorted(t, 2.0)] == 1
+
+    def test_occupancy_empty(self, trace):
+        t, occ = trace.retry_loop_occupancy()
+        assert t.size == 0
+
+
+class TestRates:
+    def test_cas_failure_rate(self, trace):
+        trace.record_update(UpdateRecord(0.0, 0, 0, 0, cas_failures=3))
+        trace.record_update(UpdateRecord(1.0, 1, 1, 0, cas_failures=0))
+        trace.record_dropped(DroppedGradientRecord(2.0, 2, 2))
+        # failures = 3 + 0 + 2 = 5; successes = 2; total = 7
+        assert trace.cas_failure_rate() == pytest.approx(5 / 7)
+
+    def test_cas_rate_empty(self, trace):
+        assert trace.cas_failure_rate() == 0.0
+
+    def test_mean_lock_wait(self, trace):
+        trace.record_lock_wait(LockWaitRecord(0.0, 1.0, 0))
+        trace.record_lock_wait(LockWaitRecord(2.0, 2.5, 1))
+        assert trace.mean_lock_wait() == pytest.approx(0.75)
+
+    def test_mean_lock_wait_empty(self, trace):
+        assert trace.mean_lock_wait() == 0.0
+
+
+class TestPerThread:
+    def test_updates_per_thread(self, trace):
+        add_updates(trace, [0] * 7)
+        counts = trace.updates_per_thread(3)
+        assert counts.sum() == 7
+        assert counts[0] == 3  # threads cycle 0,1,2
+
+    def test_out_of_range_thread_ignored(self, trace):
+        trace.record_update(UpdateRecord(0.0, 99, 0, 0))
+        assert trace.updates_per_thread(3).sum() == 0
+
+    def test_n_updates(self, trace):
+        add_updates(trace, [1, 2])
+        assert trace.n_updates == 2

@@ -1,0 +1,67 @@
+"""CLI experiment/figures commands, run against a miniature profile."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.harness import config as config_module
+from repro.harness.config import Profile
+
+
+@pytest.fixture
+def micro_quick(monkeypatch):
+    """Shrink the 'quick' profile so CLI experiment tests run in seconds."""
+    micro = Profile(
+        name="quick",
+        n_train=512,
+        n_eval=128,
+        batch_size=64,
+        cnn_batch_size=32,
+        repeats=1,
+        thread_counts=(1, 4),
+        high_parallelism=(4,),
+        max_updates=300,
+        max_virtual_time=15.0,
+        max_wall_seconds=15.0,
+        step_sizes=(0.02,),
+        mlp_epsilons=(0.75, 0.5),
+        cnn_epsilons=(0.75, 0.5),
+    )
+    monkeypatch.setitem(config_module._PROFILES, "quick", micro)
+    return micro
+
+
+class TestExperimentCommand:
+    def test_s1_runs_and_prints(self, micro_quick, capsys):
+        code = main(["experiment", "s1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig 3" in out and "S1/Fig3" in out
+
+    def test_s5_runs(self, micro_quick, capsys):
+        code = main(["experiment", "s5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "memory consumption" in out
+
+    def test_unknown_step_rejected(self, micro_quick):
+        with pytest.raises(SystemExit):
+            main(["experiment", "s9"])
+
+
+class TestRunCommandDLWorkload:
+    def test_mlp_run(self, micro_quick, capsys):
+        code = main(["run", "--algorithm", "LSH_ps0", "--m", "4",
+                     "--workload", "mlp", "--target-eps", "0.75"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "final accuracy" in out
+
+
+class TestCalibrateCommand:
+    def test_calibrate_prints_both_architectures(self, micro_quick, capsys):
+        code = main(["calibrate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "MLP" in out and "CNN" in out and "Tc/Tu" in out

@@ -1,0 +1,109 @@
+"""Cross-module integration tests: full executions exercising the
+simulator, algorithms, harness and analysis together, including a
+(slow-marked) paper-scale MLP smoke run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import RunStatus
+from repro.harness.config import RunConfig, Workloads
+from repro.harness.experiments import s1_scalability
+from repro.harness.runner import run_once
+
+from tests.conftest import make_run_config
+
+
+class TestExperimentDeterminism:
+    def test_s1_micro_reproducible(self, tiny_workloads):
+        a = s1_scalability(tiny_workloads, algorithms=("LSH_ps0",), thread_counts=(4,),
+                           repeats=2)
+        b = s1_scalability(tiny_workloads, algorithms=("LSH_ps0",), thread_counts=(4,),
+                           repeats=2)
+        assert a.data["boxes"] == b.data["boxes"]
+
+
+class TestFullMetricSurface:
+    """One run per algorithm over the DL workload, checking that every
+    reported metric is self-consistent."""
+
+    @pytest.fixture(scope="class")
+    def runs(self, request):
+        from repro.harness.config import Profile
+
+        profile = Profile(
+            name="quick", n_train=1024, n_eval=256, batch_size=64,
+            cnn_batch_size=32, repeats=1, thread_counts=(4,),
+            high_parallelism=(4,), max_updates=800, max_virtual_time=30.0,
+            max_wall_seconds=30.0, step_sizes=(0.02,),
+            mlp_epsilons=(0.75, 0.5), cnn_epsilons=(0.75, 0.5),
+        )
+        workloads = Workloads(profile)
+        problem = workloads.mlp_problem
+        cost = workloads.cost("mlp")
+        out = {}
+        for algorithm in ("SEQ", "ASYNC", "HOG", "LSH_ps1", "SYNC", "HOGPP_c2"):
+            m = 1 if algorithm == "SEQ" else 4
+            out[algorithm] = run_once(
+                problem, cost,
+                RunConfig(algorithm=algorithm, m=m, eta=0.02, seed=17,
+                          epsilons=(0.75, 0.5), target_epsilon=0.5,
+                          max_updates=800, max_virtual_time=30.0,
+                          max_wall_seconds=30.0),
+            )
+        return out
+
+    def test_all_converge(self, runs):
+        for name, result in runs.items():
+            assert result.status is RunStatus.CONVERGED, f"{name} failed"
+
+    def test_threshold_times_ordered(self, runs):
+        for name, result in runs.items():
+            t75, t50 = result.time_to(0.75), result.time_to(0.5)
+            assert t75 <= t50, f"{name}: coarser threshold must be hit first"
+
+    def test_updates_monotone_with_curve(self, runs):
+        for result in runs.values():
+            upd = result.report.curve_updates
+            assert all(a <= b for a, b in zip(upd, upd[1:]))
+
+    def test_accuracy_reported_for_dl(self, runs):
+        for name, result in runs.items():
+            assert 0.0 <= result.final_accuracy <= 1.0, name
+
+    def test_loss_descends(self, runs):
+        for name, result in runs.items():
+            assert result.report.final_loss < result.report.initial_loss, name
+
+    def test_virtual_time_positive_and_finite(self, runs):
+        for result in runs.values():
+            assert 0 < result.virtual_time < 1e6
+            assert result.wall_seconds > 0
+
+
+@pytest.mark.slow
+class TestPaperScaleSmoke:
+    """The paper's actual parameters (batch 512, d=134,794) on a reduced
+    corpus: confirms the paper-profile path executes end to end."""
+
+    def test_mlp_paper_batch(self):
+        from repro.harness.config import Profile
+
+        profile = Profile(
+            name="paper", n_train=8192, n_eval=1024, batch_size=512,
+            cnn_batch_size=512, repeats=1, thread_counts=(16,),
+            high_parallelism=(16,), max_updates=1500, max_virtual_time=120.0,
+            max_wall_seconds=120.0, step_sizes=(0.02,),
+            mlp_epsilons=(0.75, 0.5), cnn_epsilons=(0.75, 0.5),
+        )
+        workloads = Workloads(profile)
+        result = run_once(
+            workloads.mlp_problem, workloads.cost("mlp"),
+            RunConfig(algorithm="LSH_psinf", m=16, eta=0.02, seed=1,
+                      epsilons=(0.75, 0.5), target_epsilon=0.5,
+                      max_updates=1500, max_virtual_time=120.0,
+                      max_wall_seconds=120.0),
+        )
+        assert result.status is RunStatus.CONVERGED
+        assert result.config.m == 16

@@ -1,0 +1,103 @@
+"""Tests for repro.utils.tables rendering helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.tables import (
+    five_number_summary,
+    render_boxes,
+    render_series,
+    render_table,
+    sparkline,
+)
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].endswith("bb")
+
+    def test_title_prepended(self):
+        out = render_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = render_table(["x"], [[1.23456789e-7]])
+        assert "e-07" in out
+
+    def test_nan_rendering(self):
+        out = render_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+
+class TestFiveNumberSummary:
+    def test_known_values(self):
+        s = five_number_summary([1, 2, 3, 4, 5])
+        assert s["min"] == 1 and s["max"] == 5 and s["median"] == 3 and s["n"] == 5
+
+    def test_empty_gives_nan(self):
+        s = five_number_summary([])
+        assert s["n"] == 0 and np.isnan(s["median"])
+
+    def test_nan_and_none_filtered(self):
+        s = five_number_summary([1.0, float("nan"), None, 3.0])
+        assert s["n"] == 2 and s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_quartiles_order(self):
+        s = five_number_summary(list(range(100)))
+        assert s["min"] <= s["q1"] <= s["median"] <= s["q3"] <= s["max"]
+
+
+class TestRenderBoxes:
+    def test_contains_groups_and_failures(self):
+        out = render_boxes(
+            {"ASYNC": [1.0, 2.0], "LSH": [0.5]},
+            failures={"ASYNC": (1, 2)},
+            title="demo",
+            unit="s",
+        )
+        assert "ASYNC" in out and "LSH" in out
+        assert "demo" in out and "[s]" in out
+
+    def test_empty_group(self):
+        out = render_boxes({"X": []})
+        assert "X" in out
+
+
+class TestRenderSeries:
+    def test_downsamples(self):
+        xs = np.linspace(0, 1, 100)
+        out = render_series({"curve": (xs, xs**2)}, points=5)
+        # 5 sample rows plus header/rule/label lines
+        assert out.count("\n") <= 9
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_series({"c": ([1, 2], [1])})
+
+    def test_empty_series_handled(self):
+        out = render_series({"c": ([], [])})
+        assert "empty" in out
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant_series(self):
+        assert set(sparkline([5, 5, 5])) == {"▁"}
+
+    def test_no_finite_data(self):
+        assert "no finite" in sparkline([float("nan")])
+
+    def test_width_limit(self):
+        assert len(sparkline(list(range(1000)), width=40)) == 40

@@ -1,0 +1,39 @@
+"""Tests for repro.utils.timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.timing import WallTimer, time_callable
+
+
+class TestWallTimer:
+    def test_accumulates(self):
+        t = WallTimer()
+        with t:
+            sum(range(10_000))
+        first = t.elapsed
+        with t:
+            sum(range(10_000))
+        assert t.elapsed > first > 0
+
+    def test_exit_without_enter_raises(self):
+        t = WallTimer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
+
+class TestTimeCallable:
+    def test_returns_all_stats(self):
+        stats = time_callable(lambda: sum(range(1000)), repeats=3, warmup=0)
+        assert set(stats) == {"min", "median", "mean", "max"}
+        assert 0 <= stats["min"] <= stats["median"] <= stats["max"]
+
+    def test_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repeats=0)
+
+    def test_warmup_calls_made(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, warmup=3)
+        assert len(calls) == 5
