@@ -57,6 +57,9 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p = sub.add_parser("experiment", help="run a paper experiment step")
     exp_p.add_argument("step", choices=("s1", "s1-eta", "s2", "s3", "s4", "s5"))
     exp_p.add_argument("--profile", default=None, choices=(None, "quick", "paper"))
+    exp_p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-parallel runs (-1: all cores; default: "
+                            "REPRO_WORKERS or serial)")
 
     sub.add_parser("table1", help="print the paper's Table I")
     sub.add_parser("calibrate", help="measure real kernel times (Fig 9)")
@@ -75,6 +78,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--workload", default="quadratic",
                          choices=("quadratic", "mlp", "cnn"))
     sweep_p.add_argument("--target-eps", type=float, default=0.1)
+    sweep_p.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="process-parallel runs (-1: all cores; default: "
+                              "REPRO_WORKERS or serial)")
     sweep_p.add_argument("--json", default=None, metavar="PATH")
 
     report_p = sub.add_parser(
@@ -159,7 +165,7 @@ def _cmd_experiment(args) -> int:
         "s4": exp.s4_high_parallelism,
         "s5": exp.s5_memory,
     }[args.step]
-    result = fn(workloads)
+    result = fn(workloads, workers=args.workers)
     print(result)
     return 0
 
@@ -190,7 +196,11 @@ def _cmd_sweep(args) -> int:
         max_virtual_time=workloads.profile.max_virtual_time,
         max_wall_seconds=workloads.profile.max_wall_seconds,
     )
-    results = grid.run(problem, cost, progress=lambda msg: print(f"running {msg} ..."))
+    results = grid.run(
+        problem, cost,
+        progress=lambda msg: print(f"running {msg} ..."),
+        workers=args.workers,
+    )
     print()
     print(summarize(results, target))
     if args.json:

@@ -22,7 +22,6 @@ from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algori
 from repro.core.parameter_vector import ParameterVector
 from repro.sim.sync import SimLock
 from repro.sim.thread import SimThread
-from repro.sim.trace import LockWaitRecord, UpdateRecord, ViewDivergenceRecord
 
 
 class AsyncLockSGD(Algorithm):
@@ -51,9 +50,7 @@ class AsyncLockSGD(Algorithm):
             # --- read phase: local_param.theta = copy(PARAM.theta) under mtx
             requested = ctx.scheduler.now
             yield lock.acquire()
-            ctx.trace.record_lock_wait(
-                LockWaitRecord(requested, ctx.scheduler.now, thread.tid)
-            )
+            ctx.trace.add_lock_wait(requested, ctx.scheduler.now, thread.tid)
             np.copyto(local_param.theta, param.theta)
             view_seq = ctx.global_seq.load()
             yield ctx.cost.t_copy  # copy happens inside the critical section
@@ -66,28 +63,17 @@ class AsyncLockSGD(Algorithm):
             # --- update phase: PARAM.update(...) under mtx
             requested = ctx.scheduler.now
             yield lock.acquire()
-            ctx.trace.record_lock_wait(
-                LockWaitRecord(requested, ctx.scheduler.now, thread.tid)
-            )
+            ctx.trace.add_lock_wait(requested, ctx.scheduler.now, thread.tid)
             if ctx.measure_view_divergence:
-                ctx.trace.record_view_divergence(
-                    ViewDivergenceRecord(
-                        ctx.scheduler.now, thread.tid,
-                        float(np.linalg.norm(local_param.theta - param.theta)),
-                    )
+                ctx.trace.add_view_divergence(
+                    ctx.scheduler.now, thread.tid,
+                    float(np.linalg.norm(local_param.theta - param.theta)),
                 )
             param.update(grad, ctx.eta)
             yield ctx.cost.tu  # bulk write inside the critical section
             seq = ctx.global_seq.fetch_add(1)
             lock.release(thread)
-            ctx.trace.record_update(
-                UpdateRecord(
-                    time=ctx.scheduler.now,
-                    thread=thread.tid,
-                    seq=seq,
-                    staleness=seq - view_seq,
-                )
-            )
+            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

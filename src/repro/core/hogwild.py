@@ -24,7 +24,6 @@ import numpy as np
 from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algorithm
 from repro.core.parameter_vector import ParameterVector
 from repro.sim.thread import SimThread
-from repro.sim.trace import UpdateRecord, ViewDivergenceRecord
 
 
 def chunk_slices(d: int, n_chunks: int) -> list[slice]:
@@ -84,11 +83,9 @@ class HogwildSGD(Algorithm):
             # --- unsynchronized chunk-wise in-place update.
             shared = param.theta
             if ctx.measure_view_divergence:
-                ctx.trace.record_view_divergence(
-                    ViewDivergenceRecord(
-                        ctx.scheduler.now, thread.tid,
-                        float(np.linalg.norm(local_param.theta - shared)),
-                    )
+                ctx.trace.add_view_divergence(
+                    ctx.scheduler.now, thread.tid,
+                    float(np.linalg.norm(local_param.theta - shared)),
                 )
             accessors.fetch_add(1)
             with np.errstate(over="ignore", invalid="ignore"):
@@ -98,14 +95,7 @@ class HogwildSGD(Algorithm):
             accessors.fetch_add(-1)
             param.t += 1  # measurement-only sequence bump (no sync in HOGWILD!)
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.record_update(
-                UpdateRecord(
-                    time=ctx.scheduler.now,
-                    thread=thread.tid,
-                    seq=seq,
-                    staleness=seq - view_seq,
-                )
-            )
+            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

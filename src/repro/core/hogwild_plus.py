@@ -36,7 +36,6 @@ from repro.core.parameter_vector import ParameterVector
 from repro.errors import ConfigurationError
 from repro.sim.sync import AtomicCounter
 from repro.sim.thread import SimThread
-from repro.sim.trace import UpdateRecord
 
 
 class HogwildPlusPlus(Algorithm):
@@ -141,12 +140,7 @@ class HogwildPlusPlus(Algorithm):
             accessors.fetch_add(-1)
             replica.t += 1
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.record_update(
-                UpdateRecord(
-                    time=ctx.scheduler.now, thread=thread.tid,
-                    seq=seq, staleness=seq - view_seq,
-                )
-            )
+            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     # ------------------------------------------------------------------
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:

@@ -36,12 +36,6 @@ from repro.core.parameter_vector import ParameterVector
 from repro.errors import ConfigurationError
 from repro.sim.sync import AtomicRef
 from repro.sim.thread import SimThread
-from repro.sim.trace import (
-    DroppedGradientRecord,
-    RetryLoopRecord,
-    UpdateRecord,
-    ViewDivergenceRecord,
-)
 
 
 class LeashedSGD(Algorithm):
@@ -123,11 +117,9 @@ class LeashedSGD(Algorithm):
                 target.stop_reading()
                 yield ctx.cost.t_atomic
                 if view_copy is not None:
-                    ctx.trace.record_view_divergence(
-                        ViewDivergenceRecord(
-                            ctx.scheduler.now, thread.tid,
-                            float(np.linalg.norm(view_copy - new_pv.theta)),
-                        )
+                    ctx.trace.add_view_divergence(
+                        ctx.scheduler.now, thread.tid,
+                        float(np.linalg.norm(view_copy - new_pv.theta)),
                     )
                 new_pv.update(grad, self.effective_eta(eta, target.t - view_t))
                 yield ctx.cost.tu
@@ -137,19 +129,12 @@ class LeashedSGD(Algorithm):
                     target.stale_flag = True
                     target.safe_delete()
                     ctx.global_seq.fetch_add(1)
-                    ctx.trace.record_update(
-                        UpdateRecord(
-                            time=ctx.scheduler.now,
-                            thread=thread.tid,
-                            seq=new_pv.t,
-                            staleness=new_pv.t - 1 - view_t,
-                            cas_failures=num_tries,
-                        )
+                    ctx.trace.add_update(
+                        ctx.scheduler.now, thread.tid, new_pv.t,
+                        new_pv.t - 1 - view_t, num_tries,
                     )
-                    ctx.trace.record_retry_loop(
-                        RetryLoopRecord(
-                            enter_time, ctx.scheduler.now, thread.tid, num_tries + 1, True
-                        )
+                    ctx.trace.add_retry_loop(
+                        enter_time, ctx.scheduler.now, thread.tid, num_tries + 1, True
                     )
                     break
                 num_tries += 1
@@ -157,13 +142,9 @@ class LeashedSGD(Algorithm):
                     # Persistence bound exceeded: drop this gradient and
                     # return to computing a fresh one (contention relief).
                     new_pv.force_delete()
-                    ctx.trace.record_dropped(
-                        DroppedGradientRecord(ctx.scheduler.now, thread.tid, num_tries)
-                    )
-                    ctx.trace.record_retry_loop(
-                        RetryLoopRecord(
-                            enter_time, ctx.scheduler.now, thread.tid, num_tries, False
-                        )
+                    ctx.trace.add_dropped(ctx.scheduler.now, thread.tid, num_tries)
+                    ctx.trace.add_retry_loop(
+                        enter_time, ctx.scheduler.now, thread.tid, num_tries, False
                     )
                     break
 

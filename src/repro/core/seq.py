@@ -15,7 +15,6 @@ from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algori
 from repro.core.parameter_vector import ParameterVector
 from repro.errors import ConfigurationError
 from repro.sim.thread import SimThread
-from repro.sim.trace import UpdateRecord
 
 
 class SequentialSGD(Algorithm):
@@ -42,9 +41,7 @@ class SequentialSGD(Algorithm):
             param.update(grad, ctx.eta)
             yield ctx.cost.tu
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.record_update(
-                UpdateRecord(time=ctx.scheduler.now, thread=thread.tid, seq=seq, staleness=0)
-            )
+            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, 0)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

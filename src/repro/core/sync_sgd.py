@@ -23,7 +23,6 @@ from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algori
 from repro.core.parameter_vector import ParameterVector
 from repro.sim.sync import SimBarrier
 from repro.sim.thread import SimThread
-from repro.sim.trace import UpdateRecord
 
 
 class SyncSGD(Algorithm):
@@ -73,12 +72,7 @@ class SyncSGD(Algorithm):
                 grad_sum[...] = 0.0
                 yield ctx.cost.tu
                 seq = ctx.global_seq.fetch_add(1)
-                ctx.trace.record_update(
-                    UpdateRecord(
-                        time=ctx.scheduler.now, thread=thread.tid,
-                        seq=seq, staleness=0,
-                    )
-                )
+                ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, 0)
             # Second barrier: nobody starts the next round until the
             # aggregated step has been applied.
             yield barrier.arrive()

@@ -10,7 +10,8 @@ from repro.harness.config import (
     get_profile,
     Workloads,
 )
-from repro.harness.runner import RunResult, run_once, run_repeated
+from repro.harness.runner import RunResult, repeated_configs, run_once, run_repeated
+from repro.harness.parallel import ParallelRunner, map_runs, resolve_workers
 from repro.harness.grid import SweepGrid, summarize, archive
 from repro.harness.results import (
     group_by,
@@ -40,6 +41,10 @@ __all__ = [
     "RunResult",
     "run_once",
     "run_repeated",
+    "repeated_configs",
+    "ParallelRunner",
+    "map_runs",
+    "resolve_workers",
     "SweepGrid",
     "summarize",
     "archive",

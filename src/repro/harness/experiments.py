@@ -31,7 +31,8 @@ from repro.harness.results import (
     staleness_boxes,
     time_per_update_boxes,
 )
-from repro.harness.runner import RunResult, run_repeated
+from repro.harness.parallel import map_runs
+from repro.harness.runner import RunResult, repeated_configs
 from repro.utils.tables import five_number_summary, render_boxes, render_series, render_table
 
 #: The algorithm set of Section V (SEQ is run only at m=1).
@@ -80,12 +81,17 @@ def _sweep(
     repeats: int | None = None,
     epsilons: tuple[float, ...] | None = None,
     max_updates: int | None = None,
+    workers: int | None = None,
 ) -> list[RunResult]:
-    """Run every (algorithm, m) cell ``repeats`` times."""
+    """Run every (algorithm, m) cell ``repeats`` times.
+
+    All cells × seeds are fanned out over one process pool when
+    ``workers`` (or ``REPRO_WORKERS``) asks for parallelism; the result
+    list is identical to the serial one either way."""
     problem = workloads.problem(kind)
     cost = workloads.cost(kind)
     repeats = repeats or workloads.profile.repeats
-    runs: list[RunResult] = []
+    configs = []
     for alg in algorithms:
         ms = (1,) if alg == "SEQ" else thread_counts
         for m in ms:
@@ -95,8 +101,8 @@ def _sweep(
                 cfg = replace(cfg, epsilons=epsilons, target_epsilon=min(epsilons))
             if max_updates is not None:
                 cfg = replace(cfg, max_updates=max_updates)
-            runs.extend(run_repeated(problem, cost, cfg, repeats=repeats))
-    return runs
+            configs.extend(repeated_configs(cfg, repeats=repeats))
+    return map_runs(problem, cost, configs, workers=workers)
 
 
 # ----------------------------------------------------------------------
@@ -110,6 +116,7 @@ def s1_scalability(
     eta: float | None = None,
     seed: int = 100,
     repeats: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Fig. 3: MLP 50%-convergence wall-clock time (left) and time per
     SGD iteration (right), under varying parallelism."""
@@ -124,6 +131,7 @@ def s1_scalability(
         seed=seed,
         repeats=repeats,
         epsilons=(0.75, 0.5),
+        workers=workers,
     )
     key = lambda r: f"{r.config.algorithm}/m={r.config.m}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -154,6 +162,7 @@ def s1_stepsize(
     m: int = 16,
     seed: int = 200,
     repeats: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """Fig. 8: 50%-convergence time vs step size (left) and statistical
     efficiency — iterations to 50% (right), MLP at m=16."""
@@ -161,7 +170,7 @@ def s1_stepsize(
     problem = workloads.problem("mlp")
     cost = workloads.cost("mlp")
     repeats = repeats or workloads.profile.repeats
-    runs: list[RunResult] = []
+    configs = []
     for alg in algorithms:
         for eta in etas:
             cfg = replace(
@@ -170,7 +179,8 @@ def s1_stepsize(
                 epsilons=(0.75, 0.5),
                 target_epsilon=0.5,
             )
-            runs.extend(run_repeated(problem, cost, cfg, repeats=repeats))
+            configs.extend(repeated_configs(cfg, repeats=repeats))
+    runs = map_runs(problem, cost, configs, workers=workers)
     key = lambda r: f"{r.config.algorithm}/eta={r.config.eta:g}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
     stat_eff = statistical_efficiency_boxes(runs, 0.5, key=key)
@@ -203,11 +213,13 @@ def _precision_staleness_progress(
     seed: int,
     repeats: int | None,
     fig_prefix: str,
+    workers: int | None = None,
 ) -> ExperimentResult:
     profile = workloads.profile
     epsilons = profile.mlp_epsilons if kind != "cnn" else profile.cnn_epsilons
     runs = _sweep(
-        workloads, kind, algorithms, (m,), eta=eta, seed=seed, repeats=repeats, epsilons=epsilons
+        workloads, kind, algorithms, (m,), eta=eta, seed=seed, repeats=repeats,
+        epsilons=epsilons, workers=workers,
     )
     sections = []
     per_eps = {}
@@ -273,13 +285,14 @@ def s2_high_precision(
     algorithms: Sequence[str] = PARALLEL_ALGORITHMS,
     seed: int = 300,
     repeats: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """S2 — Figs 4 (left), 5 (left), 6 (left): MLP high-precision
     convergence at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "mlp", m=m, eta=eta, algorithms=algorithms, seed=seed,
-        repeats=repeats, fig_prefix="S2/Fig4-6",
+        repeats=repeats, fig_prefix="S2/Fig4-6", workers=workers,
     )
 
 
@@ -291,12 +304,13 @@ def s3_cnn(
     algorithms: Sequence[str] = PARALLEL_ALGORITHMS,
     seed: int = 400,
     repeats: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """S3 — Fig 7: CNN convergence rate / progress / staleness at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "cnn", m=m, eta=eta, algorithms=algorithms, seed=seed,
-        repeats=repeats, fig_prefix="S3/Fig7",
+        repeats=repeats, fig_prefix="S3/Fig7", workers=workers,
     )
 
 
@@ -308,6 +322,7 @@ def s4_high_parallelism(
     algorithms: Sequence[str] = PARALLEL_ALGORITHMS,
     seed: int = 500,
     repeats: int | None = None,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """S4 — Figs 4-6 (middle/right): MLP stress test at m in {24,34,68}."""
     thread_counts = tuple(thread_counts or workloads.profile.high_parallelism)
@@ -316,6 +331,7 @@ def s4_high_parallelism(
         _precision_staleness_progress(
             workloads, "mlp", m=m, eta=eta, algorithms=algorithms,
             seed=seed + 10 * m, repeats=repeats, fig_prefix=f"S4/m={m}",
+            workers=workers,
         )
         for m in thread_counts
     ]
@@ -341,6 +357,7 @@ def s5_memory(
     seed: int = 600,
     repeats: int = 1,
     max_updates: int = 400,
+    workers: int | None = None,
 ) -> ExperimentResult:
     """S5 — Fig 10: continuous memory measurement; Leashed-SGD's dynamic
     allocation vs the baselines' constant 2m+1 instances."""
@@ -352,7 +369,7 @@ def s5_memory(
         for m in thread_counts:
             runs = _sweep(
                 workloads, kind, algorithms, (m,), eta=eta, seed=seed,
-                repeats=repeats, max_updates=max_updates,
+                repeats=repeats, max_updates=max_updates, workers=workers,
             )
             runs_all.extend(runs)
             base_mean = np.mean(

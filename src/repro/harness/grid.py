@@ -35,7 +35,7 @@ import numpy as np
 from repro.core.problem import Problem
 from repro.errors import ConfigurationError
 from repro.harness.config import RunConfig
-from repro.harness.runner import RunResult, run_repeated
+from repro.harness.runner import RunResult, repeated_configs, run_once
 from repro.sim.cost import CostModel
 from repro.utils.tables import render_table
 
@@ -83,30 +83,56 @@ class SweepGrid:
                 out.append(key)
         return out
 
+    def _cell_config(self, algorithm: str, m: int, eta: float) -> RunConfig:
+        return RunConfig(
+            algorithm=algorithm,
+            m=m,
+            eta=eta,
+            seed=self.seed,
+            epsilons=self.epsilons,
+            target_epsilon=self.target_epsilon,
+            max_updates=self.max_updates,
+            max_virtual_time=self.max_virtual_time,
+            max_wall_seconds=self.max_wall_seconds,
+        )
+
+    def configs(self) -> list[RunConfig]:
+        """Every run of the sweep (cells × repeats), in execution order."""
+        out: list[RunConfig] = []
+        for algorithm, m, eta in self.cells():
+            out.extend(
+                repeated_configs(self._cell_config(algorithm, m, eta), repeats=self.repeats)
+            )
+        return out
+
     def run(
         self,
         problem: Problem,
         cost: CostModel,
         *,
         progress: Callable[[str], None] | None = None,
+        workers: int | None = None,
     ) -> list[RunResult]:
-        """Execute the grid; returns all runs (repeats included)."""
+        """Execute the grid; returns all runs (repeats included).
+
+        ``workers`` fans the whole sweep — every (cell, seed) pair at
+        once, not cell-by-cell — over a process pool (default: serial,
+        or ``REPRO_WORKERS``). Result order and contents are identical
+        to the serial sweep.
+        """
+        from repro.harness.parallel import map_runs, resolve_workers
+
+        if resolve_workers(workers) > 1:
+            if progress is not None:
+                for algorithm, m, eta in self.cells():
+                    progress(f"{algorithm} m={m} eta={eta:g}")
+            return map_runs(problem, cost, self.configs(), workers=workers)
         results: list[RunResult] = []
         for algorithm, m, eta in self.cells():
-            config = RunConfig(
-                algorithm=algorithm,
-                m=m,
-                eta=eta,
-                seed=self.seed,
-                epsilons=self.epsilons,
-                target_epsilon=self.target_epsilon,
-                max_updates=self.max_updates,
-                max_virtual_time=self.max_virtual_time,
-                max_wall_seconds=self.max_wall_seconds,
-            )
             if progress is not None:
                 progress(f"{algorithm} m={m} eta={eta:g}")
-            results.extend(run_repeated(problem, cost, config, repeats=self.repeats))
+            cell = repeated_configs(self._cell_config(algorithm, m, eta), repeats=self.repeats)
+            results.extend(run_once(problem, cost, config) for config in cell)
         return results
 
 

@@ -1,0 +1,173 @@
+"""Process-parallel experiment execution.
+
+The paper's protocol multiplies every configuration by 11 seeds and
+whole algorithm × thread-count grids; each of those runs is an
+independent simulation, deterministic given its :class:`RunConfig`
+seed. That makes the harness embarrassingly parallel: this module fans
+a list of configs out over a ``ProcessPoolExecutor`` and collects the
+results **in submission order**, so a parallel sweep returns exactly
+the list a serial loop would have produced (bitwise-identical results,
+since each ``run_once`` derives every RNG stream from its config's seed
+via :class:`repro.utils.rng.RngFactory`).
+
+Worker-count resolution (:func:`resolve_workers`):
+
+* explicit ``workers`` argument wins (``-1`` means "all cores");
+* else the ``REPRO_WORKERS`` environment variable, if set;
+* else serial — parallelism is opt-in so unit tests and nested callers
+  never fork surprisingly.
+
+``0``/``1`` mean serial. The pool is also skipped, with a serial
+fallback, when there is only one task, when the task payload cannot be
+pickled (e.g. a user-defined problem holding a lambda), or when the
+host cannot spawn processes at all.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.core.problem import Problem
+    from repro.harness.config import RunConfig
+    from repro.harness.runner import RunResult
+    from repro.sim.cost import CostModel
+
+#: Environment variable consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+# Per-process state for pool workers: the (problem, cost) pair is
+# shipped once per worker via the pool initializer instead of once per
+# task — the problem carries the training corpus (tens of MB for the
+# paper profile), the configs are a few hundred bytes each.
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(problem, cost) -> None:  # pragma: no cover - runs in subprocess
+    _WORKER_STATE["problem"] = problem
+    _WORKER_STATE["cost"] = cost
+
+
+def _run_config(config):  # pragma: no cover - runs in subprocess
+    from repro.harness.runner import run_once
+
+    return run_once(_WORKER_STATE["problem"], _WORKER_STATE["cost"], config)
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve an effective worker count (>= 1; 1 means serial).
+
+    ``workers=None`` consults ``REPRO_WORKERS`` and defaults to serial;
+    ``workers=-1`` (or ``REPRO_WORKERS=-1``) means one worker per CPU
+    core; ``0`` is accepted as an explicit "serial" request.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is None:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    workers = int(workers)
+    if workers == -1:
+        return os.cpu_count() or 1
+    if workers < -1:
+        raise ConfigurationError(f"workers must be >= -1, got {workers}")
+    return max(workers, 1)
+
+
+def _run_serial(problem, cost, configs) -> list:
+    from repro.harness.runner import run_once
+
+    return [run_once(problem, cost, config) for config in configs]
+
+
+def map_runs(
+    problem: "Problem",
+    cost: "CostModel",
+    configs: Sequence["RunConfig"],
+    *,
+    workers: int | None = None,
+) -> list["RunResult"]:
+    """Execute ``run_once`` for every config, fanning out over processes.
+
+    Results come back in the order of ``configs`` and are identical to
+    a serial loop's, whatever the worker count. Falls back to serial
+    execution (with a warning) when the payload cannot be pickled or
+    the pool cannot be brought up; exceptions raised *inside* a
+    simulation propagate unchanged either way.
+    """
+    n_workers = resolve_workers(workers)
+    configs = list(configs)
+    if n_workers <= 1 or len(configs) <= 1:
+        return _run_serial(problem, cost, configs)
+    try:
+        # Pre-flight: a problem holding closures / generators (perfectly
+        # fine serially) cannot cross a process boundary.
+        pickle.dumps((problem, cost))
+    except Exception as exc:
+        warnings.warn(
+            f"parallel run falling back to serial: payload not picklable ({exc})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(problem, cost, configs)
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(configs)),
+            initializer=_init_worker,
+            initargs=(problem, cost),
+        ) as pool:
+            return list(pool.map(_run_config, configs))
+    except (BrokenProcessPool, OSError) as exc:
+        warnings.warn(
+            f"parallel run falling back to serial: process pool failed ({exc})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _run_serial(problem, cost, configs)
+
+
+class ParallelRunner:
+    """A bound (problem, cost, workers) triple for repeated fan-outs.
+
+    Thin convenience over :func:`map_runs` for callers that sweep many
+    config batches against one workload::
+
+        runner = ParallelRunner(problem, cost, workers=8)
+        results = runner.map(configs)
+    """
+
+    def __init__(
+        self,
+        problem: "Problem",
+        cost: "CostModel",
+        *,
+        workers: int | None = None,
+    ) -> None:
+        self.problem = problem
+        self.cost = cost
+        self.workers = resolve_workers(workers)
+
+    def map(self, configs: Sequence["RunConfig"]) -> list["RunResult"]:
+        """Run every config; ordered, deterministic results."""
+        return map_runs(self.problem, self.cost, configs, workers=self.workers)
+
+    def run_repeated(
+        self, config: "RunConfig", *, repeats: int, seed_stride: int = 1_000
+    ) -> list["RunResult"]:
+        """The parallel counterpart of :func:`repro.harness.runner.run_repeated`."""
+        from repro.harness.runner import repeated_configs
+
+        return self.map(repeated_configs(config, repeats=repeats, seed_stride=seed_stride))

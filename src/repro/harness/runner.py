@@ -156,6 +156,17 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
     )
 
 
+def repeated_configs(
+    config: RunConfig, *, repeats: int, seed_stride: int = 1_000
+) -> list[RunConfig]:
+    """The seed-derived configs of a repeated experiment (seeds
+    ``seed + i * seed_stride``), shared by the serial and parallel paths
+    so both produce identical per-seed runs."""
+    if repeats <= 0:
+        raise ValueError(f"repeats must be > 0, got {repeats}")
+    return [config.with_seed(config.seed + i * seed_stride) for i in range(repeats)]
+
+
 def run_repeated(
     problem: Problem,
     cost: CostModel,
@@ -163,12 +174,17 @@ def run_repeated(
     *,
     repeats: int,
     seed_stride: int = 1_000,
+    workers: int | None = None,
 ) -> list[RunResult]:
     """Run ``repeats`` independent executions (seeds
-    ``seed + i * seed_stride``), as the paper does 11 times per box."""
-    if repeats <= 0:
-        raise ValueError(f"repeats must be > 0, got {repeats}")
-    return [
-        run_once(problem, cost, config.with_seed(config.seed + i * seed_stride))
-        for i in range(repeats)
-    ]
+    ``seed + i * seed_stride``), as the paper does 11 times per box.
+
+    ``workers`` fans the repeats out over processes (default: serial,
+    or the ``REPRO_WORKERS`` environment variable; see
+    :mod:`repro.harness.parallel`). Results are returned in seed order
+    and are identical whatever the worker count.
+    """
+    from repro.harness.parallel import map_runs
+
+    configs = repeated_configs(config, repeats=repeats, seed_stride=seed_stride)
+    return map_runs(problem, cost, configs, workers=workers)

@@ -44,6 +44,11 @@ class Conv2D(Layer):
         self.kernel = (int(kernel[0]), int(kernel[1]))
         self._in_shape: tuple[int, int, int] | None = None
         self._out_shape: tuple[int, int, int] | None = None
+        # Contraction-path cache for the backward einsum: optimize=True
+        # re-runs a path search on every call, which for the small
+        # operands here costs as much as the contraction itself. Paths
+        # depend only on operand shapes, so one entry per batch shape.
+        self._einsum_paths: dict[tuple[tuple[int, ...], tuple[int, ...]], list] = {}
 
     def build(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
         if len(input_shape) != 3:
@@ -88,7 +93,12 @@ class Conv2D(Layer):
         kh, kw = self.kernel
         g2 = grad_out.reshape(n, self.filters, oh * ow).transpose(0, 2, 1)  # (N, OH*OW, F)
         # Parameter gradients: contract over batch and positions at once.
-        np.einsum("npf,npk->fk", g2, cols, out=gW, optimize=True)
+        path_key = (g2.shape, cols.shape)
+        path = self._einsum_paths.get(path_key)
+        if path is None:
+            path = np.einsum_path("npf,npk->fk", g2, cols, optimize=True)[0]
+            self._einsum_paths[path_key] = path
+        np.einsum("npf,npk->fk", g2, cols, out=gW, optimize=path)
         np.sum(grad_out, axis=(0, 2, 3), out=gb)
         # Input gradient: scatter-add each kernel offset (kh*kw small loops,
         # each a fully vectorized slice-add).

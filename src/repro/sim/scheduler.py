@@ -7,13 +7,29 @@ replayable. Every yielded duration is multiplied by a lognormal jitter
 factor (configurable ``jitter_sigma``), modelling timing noise from
 cache misses, interrupts and hyper-thread interference — this is what
 spreads the staleness distributions the paper studies.
+
+Performance notes
+-----------------
+The run loop is the innermost loop of every experiment (tens of
+millions of events for a paper-scale sweep), so it avoids per-event
+overhead aggressively:
+
+* Heap entries are plain ``(time, tiebreak, seq, thread)`` tuples. The
+  unique ``seq`` guarantees comparisons never reach the (uncomparable)
+  thread object, and tuple comparison is several times cheaper than a
+  ``dataclass(order=True)``.
+* Random numbers (tiebreak priorities and lognormal jitter factors) are
+  drawn in vectorized blocks and consumed from plain Python lists,
+  amortizing the ``Generator`` call overhead across thousands of
+  events. Draws stay fully deterministic given the seed, but the
+  *order* of the underlying RNG stream differs from releases that drew
+  one scalar per event (see docs/simulator.md, "Performance").
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 import numpy as np
@@ -22,6 +38,11 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.clock import VirtualClock
 from repro.sim.sync import AcquireRequest, BarrierRequest
 from repro.sim.thread import SimThread, ThreadState
+
+#: How many random numbers are drawn per refill. Large enough that the
+#: Generator call is amortized to noise, small enough that short runs
+#: don't waste noticeable time drawing numbers they never use.
+_RNG_BLOCK = 8192
 
 
 @dataclass
@@ -56,14 +77,6 @@ class SchedulerConfig:
             raise SimulationError(f"max_events must be > 0, got {self.max_events!r}")
 
 
-@dataclass(order=True)
-class _QueueEntry:
-    time: float
-    tiebreak: float
-    seq: int
-    thread: SimThread = field(compare=False)
-
-
 class Scheduler:
     """Runs a set of :class:`SimThread` objects over a shared
     :class:`VirtualClock` until completion, a stop request, or a time
@@ -77,14 +90,21 @@ class Scheduler:
         self.clock = VirtualClock()
         self.config = config or SchedulerConfig()
         self._rng = rng
-        self._queue: list[_QueueEntry] = []
-        self._seq = itertools.count()
+        # Heap of (time, tiebreak, seq, thread) tuples; seq is unique so
+        # comparisons never reach the thread object.
+        self._queue: list[tuple[float, float, int, SimThread]] = []
+        self._seq = 0
         self._threads: list[SimThread] = []
         self._stopped = False
         self._events_processed = 0
         self._blocked_count = 0
         self._suspend_after: dict[int, float] = {}
         self._suspended: list[SimThread] = []
+        # Pre-drawn RNG blocks (refilled on demand).
+        self._tiebreaks: list[float] = []
+        self._tiebreak_idx = 0
+        self._jitters: list[float] = []
+        self._jitter_idx = 0
 
     # ------------------------------------------------------------------
     @property
@@ -143,11 +163,35 @@ class Scheduler:
         """Spawn a batch of threads; returns them in order."""
         return [self.spawn(name, factory) for name, factory in factories]
 
+    # -- amortized RNG -------------------------------------------------
+    def _next_tiebreak(self) -> float:
+        """One uniform tiebreak priority from the pre-drawn block."""
+        i = self._tiebreak_idx
+        block = self._tiebreaks
+        if i >= len(block):
+            block = self._tiebreaks = self._rng.random(_RNG_BLOCK).tolist()
+            i = 0
+        self._tiebreak_idx = i + 1
+        return block[i]
+
+    def _next_jitter_factor(self) -> float:
+        """One lognormal jitter factor from the pre-drawn block."""
+        i = self._jitter_idx
+        block = self._jitters
+        if i >= len(block):
+            block = self._jitters = np.exp(
+                self._rng.normal(0.0, self.config.jitter_sigma, _RNG_BLOCK)
+            ).tolist()
+            i = 0
+        self._jitter_idx = i + 1
+        return block[i]
+
     # ------------------------------------------------------------------
     def _schedule(self, thread: SimThread, at: float) -> None:
         thread.state = ThreadState.READY
-        entry = _QueueEntry(at, float(self._rng.random()), next(self._seq), thread)
-        heapq.heappush(self._queue, entry)
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (at, self._next_tiebreak(), seq, thread))
 
     def _wake(self, thread: SimThread, *, delay: float = 0.0) -> None:
         """Wake a lock-blocked thread ``delay`` seconds from now."""
@@ -161,7 +205,7 @@ class Scheduler:
             raise SimulationError(f"thread {thread.name!r} yielded a negative duration {duration!r}")
         d = duration * thread.speed_factor
         if self.config.jitter_sigma > 0 and d > 0:
-            d *= float(np.exp(self._rng.normal(0.0, self.config.jitter_sigma)))
+            d *= self._next_jitter_factor()
         return d
 
     # ------------------------------------------------------------------
@@ -176,49 +220,92 @@ class Scheduler:
         SimulationError
             If the ``max_events`` safety cap is hit.
         """
-        while self._queue and not self._stopped:
-            if self._events_processed >= self.config.max_events:
-                raise SimulationError(
-                    f"scheduler exceeded max_events={self.config.max_events}; "
-                    "likely a zero-duration spin loop in a thread body"
-                )
-            entry = heapq.heappop(self._queue)
-            if entry.time > until:
-                # Put it back so a later run(until=...) continues seamlessly.
-                heapq.heappush(self._queue, entry)
-                self.clock.advance_to(until)
-                return
-            self.clock.advance_to(entry.time)
-            self._events_processed += 1
-            thread = entry.thread
-            deadline = self._suspend_after.get(thread.tid)
-            if deadline is not None and entry.time >= deadline:
-                self._suspended.append(thread)
-                del self._suspend_after[thread.tid]
-                continue  # frozen: never rescheduled, holdings kept
-            yielded = thread.step()
-            if yielded is None:
-                continue  # thread finished
-            if isinstance(yielded, (int, float)):
-                self._schedule(thread, self.now + self._jitter(float(yielded), thread))
-            elif isinstance(yielded, AcquireRequest):
-                granted = yielded.lock._on_acquire(thread, self)
-                if granted:
-                    self._schedule(thread, self.now + yielded.lock.acquire_cost)
-                else:
+        # Locals for everything touched per event: in CPython, LOAD_FAST
+        # beats repeated attribute lookups by a wide margin in a loop
+        # this hot.
+        queue = self._queue
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        clock = self.clock
+        max_events = self.config.max_events
+        jitter_on = self.config.jitter_sigma > 0
+        suspend_after = self._suspend_after
+        events = self._events_processed
+        try:
+            while queue and not self._stopped:
+                if events >= max_events:
+                    nxt = queue[0][3]
+                    raise SimulationError(
+                        f"scheduler exceeded max_events={max_events} at virtual "
+                        f"time {clock.now:.6g}s (next runnable thread: {nxt.name!r}); "
+                        "likely a zero-duration spin loop in a thread body"
+                    )
+                entry = heappop(queue)
+                at = entry[0]
+                if at > until:
+                    # Put it back so a later run(until=...) continues seamlessly.
+                    heappush(queue, entry)
+                    clock.advance_to(until)
+                    return
+                clock.advance_to(at)
+                events += 1
+                thread = entry[3]
+                if suspend_after:
+                    deadline = suspend_after.get(thread.tid)
+                    if deadline is not None and at >= deadline:
+                        self._suspended.append(thread)
+                        del suspend_after[thread.tid]
+                        continue  # frozen: never rescheduled, holdings kept
+                yielded = thread.step()
+                if yielded is None:
+                    continue  # thread finished
+                if isinstance(yielded, (int, float)):
+                    # Hot path: a plain duration. Inlines _jitter + _schedule.
+                    if yielded < 0:
+                        raise SimulationError(
+                            f"thread {thread.name!r} yielded a negative duration {yielded!r}"
+                        )
+                    d = yielded * thread.speed_factor
+                    if jitter_on and d > 0:
+                        i = self._jitter_idx
+                        block = self._jitters
+                        if i >= len(block):
+                            block = self._jitters = np.exp(
+                                self._rng.normal(0.0, self.config.jitter_sigma, _RNG_BLOCK)
+                            ).tolist()
+                            i = 0
+                        self._jitter_idx = i + 1
+                        d *= block[i]
+                    thread.state = ThreadState.READY
+                    i = self._tiebreak_idx
+                    block = self._tiebreaks
+                    if i >= len(block):
+                        block = self._tiebreaks = self._rng.random(_RNG_BLOCK).tolist()
+                        i = 0
+                    self._tiebreak_idx = i + 1
+                    seq = self._seq
+                    self._seq = seq + 1
+                    heappush(queue, (clock.now + d, block[i], seq, thread))
+                elif isinstance(yielded, AcquireRequest):
+                    granted = yielded.lock._on_acquire(thread, self)
+                    if granted:
+                        self._schedule(thread, clock.now + yielded.lock.acquire_cost)
+                    else:
+                        thread.state = ThreadState.BLOCKED
+                        self._blocked_count += 1
+                elif isinstance(yielded, BarrierRequest):
                     thread.state = ThreadState.BLOCKED
                     self._blocked_count += 1
-            elif isinstance(yielded, BarrierRequest):
-                thread.state = ThreadState.BLOCKED
-                self._blocked_count += 1
-                released = yielded.barrier._on_arrive(thread, self)
-                if released:
-                    self._wake(thread, delay=yielded.barrier.release_cost)
-            else:
-                raise SimulationError(
-                    f"thread {thread.name!r} yielded unsupported value {yielded!r}"
-                )
-        if not self._queue and self._blocked_count > 0 and not self._stopped:
+                    released = yielded.barrier._on_arrive(thread, self)
+                    if released:
+                        self._wake(thread, delay=yielded.barrier.release_cost)
+                else:
+                    raise SimulationError(
+                        f"thread {thread.name!r} yielded unsupported value {yielded!r}"
+                    )
+        finally:
+            self._events_processed = events
+        if not queue and self._blocked_count > 0 and not self._stopped:
             blocked = [t.name for t in self._threads if t.state is ThreadState.BLOCKED]
             raise DeadlockError(f"all runnable threads exhausted; blocked: {blocked}")
 

@@ -5,14 +5,23 @@ with their staleness (Fig. 6 / 7-right), CAS attempt outcomes and
 dropped gradients (persistence-bound behaviour, Section IV.2), LAU-SPC
 retry-loop occupancy over time (to validate eq. (4)/(5)), and lock wait
 times (lock contention of the AsyncSGD baseline). The
-:class:`TraceRecorder` collects these cheaply as typed records and
-offers the aggregations the benches print.
+:class:`TraceRecorder` collects these cheaply and offers the
+aggregations the benches print.
+
+Storage is *columnar*: each record kind appends its fields onto
+parallel Python lists, so the per-event cost is a few list appends
+instead of a frozen-dataclass allocation, and every aggregation turns a
+column into one NumPy array instead of a Python-level attribute walk.
+The record dataclasses remain the public vocabulary: ``record_*``
+accepts them, and the ``updates`` / ``dropped`` / ``retry_loops`` /
+``lock_waits`` / ``view_divergences`` properties materialize them
+on demand (cached until the next append). Hot paths should prefer the
+positional ``add_*`` methods, which skip record construction entirely.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -72,42 +81,170 @@ class TraceRecorder:
     """Accumulates execution events; aggregation methods feed the benches."""
 
     def __init__(self) -> None:
-        self.updates: list[UpdateRecord] = []
-        self.dropped: list[DroppedGradientRecord] = []
-        self.retry_loops: list[RetryLoopRecord] = []
-        self.lock_waits: list[LockWaitRecord] = []
-        self.view_divergences: list[ViewDivergenceRecord] = []
+        # updates
+        self._upd_time: list[float] = []
+        self._upd_thread: list[int] = []
+        self._upd_seq: list[int] = []
+        self._upd_staleness: list[int] = []
+        self._upd_cas: list[int] = []
+        # dropped gradients
+        self._drop_time: list[float] = []
+        self._drop_thread: list[int] = []
+        self._drop_cas: list[int] = []
+        # retry loops
+        self._retry_enter: list[float] = []
+        self._retry_exit: list[float] = []
+        self._retry_thread: list[int] = []
+        self._retry_attempts: list[int] = []
+        self._retry_published: list[bool] = []
+        # lock waits
+        self._lock_request: list[float] = []
+        self._lock_acquire: list[float] = []
+        self._lock_thread: list[int] = []
+        # view divergences
+        self._vd_time: list[float] = []
+        self._vd_thread: list[int] = []
+        self._vd_l2: list[float] = []
+        # materialized-record caches (invalidated on append)
+        self._updates_view: list[UpdateRecord] | None = []
+        self._dropped_view: list[DroppedGradientRecord] | None = []
+        self._retry_view: list[RetryLoopRecord] | None = []
+        self._lock_view: list[LockWaitRecord] | None = []
+        self._vd_view: list[ViewDivergenceRecord] | None = []
 
-    # -- recording ----------------------------------------------------
+    # -- fast positional recording ------------------------------------
+    def add_update(
+        self, time: float, thread: int, seq: int, staleness: int, cas_failures: int = 0
+    ) -> None:
+        """Append a published update without building an UpdateRecord."""
+        self._upd_time.append(time)
+        self._upd_thread.append(thread)
+        self._upd_seq.append(seq)
+        self._upd_staleness.append(staleness)
+        self._upd_cas.append(cas_failures)
+        self._updates_view = None
+
+    def add_dropped(self, time: float, thread: int, cas_failures: int) -> None:
+        """Append a dropped gradient without building a record."""
+        self._drop_time.append(time)
+        self._drop_thread.append(thread)
+        self._drop_cas.append(cas_failures)
+        self._dropped_view = None
+
+    def add_retry_loop(
+        self, enter_time: float, exit_time: float, thread: int, attempts: int, published: bool
+    ) -> None:
+        """Append a completed LAU-SPC loop stay without building a record."""
+        self._retry_enter.append(enter_time)
+        self._retry_exit.append(exit_time)
+        self._retry_thread.append(thread)
+        self._retry_attempts.append(attempts)
+        self._retry_published.append(published)
+        self._retry_view = None
+
+    def add_lock_wait(self, request_time: float, acquire_time: float, thread: int) -> None:
+        """Append a lock wait without building a record."""
+        self._lock_request.append(request_time)
+        self._lock_acquire.append(acquire_time)
+        self._lock_thread.append(thread)
+        self._lock_view = None
+
+    def add_view_divergence(self, time: float, thread: int, l2: float) -> None:
+        """Append an elastic-consistency measurement without a record."""
+        self._vd_time.append(time)
+        self._vd_thread.append(thread)
+        self._vd_l2.append(l2)
+        self._vd_view = None
+
+    # -- record-object recording (back-compat) ------------------------
     def record_update(self, record: UpdateRecord) -> None:
         """Append a published-update record."""
-        self.updates.append(record)
+        self.add_update(record.time, record.thread, record.seq, record.staleness, record.cas_failures)
 
     def record_dropped(self, record: DroppedGradientRecord) -> None:
         """Append a dropped-gradient record."""
-        self.dropped.append(record)
+        self.add_dropped(record.time, record.thread, record.cas_failures)
 
     def record_retry_loop(self, record: RetryLoopRecord) -> None:
         """Append a completed LAU-SPC loop stay."""
-        self.retry_loops.append(record)
+        self.add_retry_loop(
+            record.enter_time, record.exit_time, record.thread, record.attempts, record.published
+        )
 
     def record_lock_wait(self, record: LockWaitRecord) -> None:
         """Append a lock wait."""
-        self.lock_waits.append(record)
+        self.add_lock_wait(record.request_time, record.acquire_time, record.thread)
 
     def record_view_divergence(self, record: ViewDivergenceRecord) -> None:
         """Append an elastic-consistency measurement."""
-        self.view_divergences.append(record)
+        self.add_view_divergence(record.time, record.thread, record.l2)
+
+    # -- materialized record views ------------------------------------
+    @property
+    def updates(self) -> list[UpdateRecord]:
+        """Published updates as records (materialized lazily)."""
+        if self._updates_view is None:
+            self._updates_view = [
+                UpdateRecord(t, th, s, st, c)
+                for t, th, s, st, c in zip(
+                    self._upd_time, self._upd_thread, self._upd_seq,
+                    self._upd_staleness, self._upd_cas,
+                )
+            ]
+        return self._updates_view
+
+    @property
+    def dropped(self) -> list[DroppedGradientRecord]:
+        """Dropped gradients as records (materialized lazily)."""
+        if self._dropped_view is None:
+            self._dropped_view = [
+                DroppedGradientRecord(t, th, c)
+                for t, th, c in zip(self._drop_time, self._drop_thread, self._drop_cas)
+            ]
+        return self._dropped_view
+
+    @property
+    def retry_loops(self) -> list[RetryLoopRecord]:
+        """LAU-SPC loop stays as records (materialized lazily)."""
+        if self._retry_view is None:
+            self._retry_view = [
+                RetryLoopRecord(en, ex, th, a, p)
+                for en, ex, th, a, p in zip(
+                    self._retry_enter, self._retry_exit, self._retry_thread,
+                    self._retry_attempts, self._retry_published,
+                )
+            ]
+        return self._retry_view
+
+    @property
+    def lock_waits(self) -> list[LockWaitRecord]:
+        """Lock waits as records (materialized lazily)."""
+        if self._lock_view is None:
+            self._lock_view = [
+                LockWaitRecord(r, a, th)
+                for r, a, th in zip(self._lock_request, self._lock_acquire, self._lock_thread)
+            ]
+        return self._lock_view
+
+    @property
+    def view_divergences(self) -> list[ViewDivergenceRecord]:
+        """Elastic-consistency measurements as records (lazy)."""
+        if self._vd_view is None:
+            self._vd_view = [
+                ViewDivergenceRecord(t, th, l2)
+                for t, th, l2 in zip(self._vd_time, self._vd_thread, self._vd_l2)
+            ]
+        return self._vd_view
 
     # -- aggregations ----------------------------------------------------
     @property
     def n_updates(self) -> int:
         """Number of published updates (global SGD iterations)."""
-        return len(self.updates)
+        return len(self._upd_time)
 
     def staleness_values(self) -> np.ndarray:
         """All observed staleness values, in publish order."""
-        return np.asarray([u.staleness for u in self.updates], dtype=int)
+        return np.asarray(self._upd_staleness, dtype=int)
 
     def staleness_summary(self) -> dict[str, float]:
         """Mean / median / p90 / max staleness (NaN when no updates)."""
@@ -124,10 +261,10 @@ class TraceRecorder:
 
     def staleness_over_time(self, *, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
         """Mean staleness per time bin — the x/y of Fig. 6's trend."""
-        if not self.updates:
+        if not self._upd_time:
             return np.zeros(0), np.zeros(0)
-        times = np.asarray([u.time for u in self.updates])
-        values = np.asarray([u.staleness for u in self.updates], dtype=float)
+        times = np.asarray(self._upd_time)
+        values = np.asarray(self._upd_staleness, dtype=float)
         edges = np.linspace(0.0, float(times.max()) or 1.0, bins + 1)
         which = np.clip(np.digitize(times, edges) - 1, 0, bins - 1)
         sums = np.bincount(which, weights=values, minlength=bins)
@@ -141,12 +278,13 @@ class TraceRecorder:
         """Number of threads inside the LAU-SPC loop as a step function,
         sampled at ``resolution`` points — the measured counterpart of
         the analytical ``n_t`` of eq. (4)/(5)."""
-        if not self.retry_loops:
+        if not self._retry_enter:
             return np.zeros(0), np.zeros(0)
         deltas: list[tuple[float, int]] = []
-        for r in self.retry_loops:
-            deltas.append((r.enter_time, +1))
-            deltas.append((r.exit_time, -1))
+        for t in self._retry_enter:
+            deltas.append((t, +1))
+        for t in self._retry_exit:
+            deltas.append((t, -1))
         deltas.sort()
         times = np.asarray([t for t, _ in deltas])
         curve = np.cumsum([d for _, d in deltas])
@@ -157,24 +295,22 @@ class TraceRecorder:
 
     def cas_failure_rate(self) -> float:
         """Failed CAS attempts / total CAS attempts across the run."""
-        failures = sum(u.cas_failures for u in self.updates) + sum(
-            d.cas_failures for d in self.dropped
-        )
-        successes = len(self.updates)
+        failures = sum(self._upd_cas) + sum(self._drop_cas)
+        successes = len(self._upd_time)
         total = failures + successes
         return failures / total if total else 0.0
 
     def mean_lock_wait(self) -> float:
         """Mean time spent blocked on the mutex (0 when lock-free)."""
-        if not self.lock_waits:
+        if not self._lock_request:
             return 0.0
-        waits = [w.acquire_time - w.request_time for w in self.lock_waits]
+        waits = np.asarray(self._lock_acquire) - np.asarray(self._lock_request)
         return float(np.mean(waits))
 
     def view_divergence_summary(self) -> dict[str, float]:
         """Mean / p90 / max of the recorded elastic-consistency L2
         distances (NaN when the instrumentation was off)."""
-        values = np.asarray([r.l2 for r in self.view_divergences])
+        values = np.asarray(self._vd_l2)
         if values.size == 0:
             nan = float("nan")
             return {"mean": nan, "p90": nan, "max": nan}
@@ -186,8 +322,10 @@ class TraceRecorder:
 
     def updates_per_thread(self, m: int) -> np.ndarray:
         """Published-update counts per thread id (thread balance)."""
-        counts = np.zeros(int(m), dtype=int)
-        for u in self.updates:
-            if 0 <= u.thread < m:
-                counts[u.thread] += 1
+        m = int(m)
+        counts = np.zeros(m, dtype=int)
+        if self._upd_thread:
+            tids = np.asarray(self._upd_thread)
+            in_range = tids[(tids >= 0) & (tids < m)]
+            counts += np.bincount(in_range, minlength=m)
         return counts

@@ -89,7 +89,7 @@ class TestLockBasedStallsUnderFault:
     def test_frozen_worker_outside_cs_is_harmless(self):
         """Freezing an ASYNC worker while it merely computes (lock free
         in its hand) only removes one worker's throughput."""
-        out = run_with_fault("ASYNC", freeze_time=0.002)  # mid-Tc
+        out = run_with_fault("ASYNC", freeze_time=0.004)  # mid-Tc
         assert out["status"] is RunStatus.CONVERGED
         assert out["updates_after_freeze"] > 20
 

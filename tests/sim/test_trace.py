@@ -11,6 +11,7 @@ from repro.sim.trace import (
     RetryLoopRecord,
     TraceRecorder,
     UpdateRecord,
+    ViewDivergenceRecord,
 )
 
 
@@ -79,6 +80,110 @@ class TestRates:
 
     def test_mean_lock_wait_empty(self, trace):
         assert trace.mean_lock_wait() == 0.0
+
+
+class TestPinnedAggregations:
+    """Aggregations pinned against hand-computed values, so the columnar
+    storage rewrite is provably behavior-preserving."""
+
+    def test_staleness_summary_pinned(self, trace):
+        # staleness values: 0, 1, 2, 3, 14 (n=5)
+        for i, tau in enumerate([0, 1, 2, 3, 14]):
+            trace.add_update(float(i), i % 2, i, tau)
+        s = trace.staleness_summary()
+        assert s["mean"] == pytest.approx(4.0)      # (0+1+2+3+14)/5
+        assert s["median"] == pytest.approx(2.0)
+        # p90 by linear interpolation: idx = 0.9*(5-1) = 3.6 -> 3 + 0.6*(14-3)
+        assert s["p90"] == pytest.approx(9.6)
+        assert s["max"] == 14.0
+
+    def test_cas_failure_rate_pinned(self, trace):
+        trace.add_update(0.0, 0, 0, 0, cas_failures=2)
+        trace.add_update(1.0, 1, 1, 0, cas_failures=1)
+        trace.add_update(2.0, 0, 2, 0, cas_failures=0)
+        trace.add_dropped(3.0, 1, 4)
+        # failures = 2+1+0+4 = 7; successes = 3; total = 10
+        assert trace.cas_failure_rate() == pytest.approx(0.7)
+
+    def test_mean_lock_wait_pinned(self, trace):
+        trace.add_lock_wait(0.0, 0.5, 0)   # wait 0.5
+        trace.add_lock_wait(1.0, 1.25, 1)  # wait 0.25
+        trace.add_lock_wait(2.0, 2.0, 0)   # wait 0.0
+        assert trace.mean_lock_wait() == pytest.approx(0.25)  # (0.5+0.25+0)/3
+
+    def test_retry_occupancy_pinned(self, trace):
+        # Stays [0,4], [1,3], [2,6]: occupancy 1 on (0,1), 2 on (1,2),
+        # 3 on (2,3), back to 2 on (3,4), 1 on (4,6).
+        trace.add_retry_loop(0.0, 4.0, 0, 1, True)
+        trace.add_retry_loop(1.0, 3.0, 1, 2, True)
+        trace.add_retry_loop(2.0, 6.0, 2, 1, False)
+        t, occ = trace.retry_loop_occupancy(resolution=601)  # step 0.01
+        def occ_at(x):
+            return occ[np.searchsorted(t, x)]
+        assert occ_at(0.5) == 1
+        assert occ_at(1.5) == 2
+        assert occ_at(2.5) == 3
+        assert occ_at(3.5) == 2
+        assert occ_at(5.0) == 1
+
+    def test_staleness_over_time_pinned(self, trace):
+        # Two bins over [0, 10]: times 1,2 (tau 2,4) and 6,9 (tau 10,20).
+        for t_, tau in [(1.0, 2), (2.0, 4), (6.0, 10), (9.0, 20)]:
+            trace.add_update(t_, 0, 0, tau)
+        centers, means = trace.staleness_over_time(bins=2)
+        np.testing.assert_allclose(centers, [2.25, 6.75])
+        np.testing.assert_allclose(means, [3.0, 15.0])  # (2+4)/2, (10+20)/2
+
+    def test_updates_per_thread_pinned(self, trace):
+        for tid in [0, 1, 1, 2, 2, 2, 5]:  # 5 out of range for m=3
+            trace.add_update(0.0, tid, 0, 0)
+        np.testing.assert_array_equal(trace.updates_per_thread(3), [1, 2, 3])
+
+    def test_view_divergence_summary_pinned(self, trace):
+        for l2 in [1.0, 2.0, 3.0, 4.0]:
+            trace.add_view_divergence(0.0, 0, l2)
+        s = trace.view_divergence_summary()
+        assert s["mean"] == pytest.approx(2.5)
+        # p90: idx = 0.9*3 = 2.7 -> 3 + 0.7*(4-3)
+        assert s["p90"] == pytest.approx(3.7)
+        assert s["max"] == 4.0
+
+
+class TestColumnarRecordEquivalence:
+    """The fast positional add_* API and the record-object API must be
+    indistinguishable, and the materialized record views must round-trip
+    the columns."""
+
+    def test_record_and_add_produce_same_state(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        a.record_update(UpdateRecord(1.0, 2, 3, 4, cas_failures=5))
+        b.add_update(1.0, 2, 3, 4, 5)
+        assert a.updates == b.updates
+        a.record_dropped(DroppedGradientRecord(1.5, 0, 2))
+        b.add_dropped(1.5, 0, 2)
+        assert a.dropped == b.dropped
+        a.record_retry_loop(RetryLoopRecord(0.0, 1.0, 1, 2, True))
+        b.add_retry_loop(0.0, 1.0, 1, 2, True)
+        assert a.retry_loops == b.retry_loops
+        a.record_lock_wait(LockWaitRecord(0.0, 0.5, 3))
+        b.add_lock_wait(0.0, 0.5, 3)
+        assert a.lock_waits == b.lock_waits
+        a.record_view_divergence(ViewDivergenceRecord(2.0, 1, 0.25))
+        b.add_view_divergence(2.0, 1, 0.25)
+        assert a.view_divergences == b.view_divergences
+
+    def test_materialized_records_refresh_after_append(self, trace):
+        trace.add_update(0.0, 0, 0, 1)
+        first = trace.updates
+        assert [u.staleness for u in first] == [1]
+        trace.add_update(1.0, 1, 1, 7)  # invalidates the cached view
+        assert [u.staleness for u in trace.updates] == [1, 7]
+
+    def test_materialized_records_are_records(self, trace):
+        trace.add_update(0.5, 1, 2, 3, 4)
+        (u,) = trace.updates
+        assert u == UpdateRecord(0.5, 1, 2, 3, 4)
+        assert trace.view_divergences == []
 
 
 class TestPerThread:
