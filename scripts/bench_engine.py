@@ -158,9 +158,12 @@ def bench_harness(*, repeats: int, max_updates: int) -> dict:
     serial = run_repeated(problem, cost, config, repeats=repeats, workers=1)
     serial_s = time.perf_counter() - start
 
+    # Never oversubscribe: on a single-core host a 2-worker pool is
+    # strictly slower than the serial loop (fork + context-switch cost),
+    # and resolve_workers would cap the request anyway.
     workers = min(os.cpu_count() or 1, repeats)
     start = time.perf_counter()
-    parallel = run_repeated(problem, cost, config, repeats=repeats, workers=max(workers, 2))
+    parallel = run_repeated(problem, cost, config, repeats=repeats, workers=workers)
     parallel_s = time.perf_counter() - start
 
     identical = all(
@@ -169,7 +172,7 @@ def bench_harness(*, repeats: int, max_updates: int) -> dict:
     )
     return {
         "repeats": repeats,
-        "workers": max(workers, 2),
+        "workers": workers,
         "serial_seconds": round(serial_s, 4),
         "parallel_seconds": round(parallel_s, 4),
         "parallel_speedup": round(serial_s / parallel_s, 3),

@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Benchmark for the zero-allocation gradient step (arena + workspace).
+
+Measures Leashed-SGD steps/sec on the paper's MLP and CNN workloads,
+and records into ``BENCH_step.json``:
+
+1. **Pooled vs compat (in-process)** — current code with the buffer
+   arena + step workspace on (the default) against ``use_arena=False,
+   use_workspace=False``, which reproduces the pre-arena *allocation
+   pattern* (fresh payloads, anonymous ``eta*grad`` temporaries,
+   allocating forward/backward). Understates the full improvement: the
+   compat mode still benefits from this change's unconditional fixes
+   (precomputed ParamSlot bounds, the two-operand LAU formulation is
+   gated off, but slot-view memoization rides the workspace switch).
+2. **Pre-arena baseline vs current (subprocess)** — when
+   ``--baseline-src`` points at a checkout of the pre-arena tree (e.g.
+   ``git worktree add /tmp/pre-arena <commit>``), each side runs in its
+   own subprocess with that tree on ``PYTHONPATH``, using only APIs
+   both trees share, so each tree executes its *default* step path.
+   Sides alternate in pairs and the median pair ratio is reported,
+   which is robust against host speed drift. This is the honest
+   before/after number.
+
+Every comparison also checks the runs are *bitwise identical*
+(``n_updates``, ``virtual_time``, final loss) — pooling and workspaces
+change where bytes live, never what is computed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_step.py --mode smoke
+    PYTHONPATH=src python scripts/bench_step.py \
+        --baseline-src /tmp/pre-arena/src --baseline-rev <commit>
+
+Smoke mode runs one tiny in-process comparison and applies no
+thresholds — it exists so CI can prove the benchmark (and the bitwise
+guarantee) holds, not to measure anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+# Child processes inherit the tree to measure via PYTHONPATH; the
+# convenience insert below would override it with the current tree.
+if not os.environ.get("BENCH_STEP_SRC_FROM_ENV"):
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.problem import DLProblem
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.harness.config import RunConfig
+from repro.harness.runner import run_once
+from repro.nn.architectures import cnn_mnist, mlp_mnist
+from repro.sim.cost import CostModel
+
+#: (name, architecture, batch size, workers m, max updates). Small
+#: batches keep the per-step BLAS from drowning the protocol work the
+#: arena eliminates; m=4 matches the paper's moderate-contention runs.
+WORKLOADS = [
+    ("mlp_b8_m4", "mlp", 8, 4, 300),
+    ("mlp_b16_m4", "mlp", 16, 4, 300),
+    ("cnn_b8_m4", "cnn", 8, 4, 120),
+]
+
+
+def build_problem(arch: str, batch: int, *, use_workspace: bool | None):
+    corpus = generate_synthetic_mnist(n_train=2048, n_eval=64, seed=2021)
+    if arch == "mlp":
+        net, xs, xe = mlp_mnist(), corpus.train.as_flat(), corpus.eval.as_flat()
+    else:
+        net, xs, xe = cnn_mnist(), corpus.train.as_images(), corpus.eval.as_images()
+    kwargs = {} if use_workspace is None else {"use_workspace": use_workspace}
+    problem = DLProblem(
+        net, xs, corpus.train.labels, xe, corpus.eval.labels, batch_size=batch, **kwargs
+    )
+    cost = CostModel.mlp_default() if arch == "mlp" else CostModel.cnn_default()
+    return problem, cost
+
+
+def build_config(m: int, max_updates: int, cost: CostModel, *, use_arena: bool | None):
+    # Unreachable epsilon + finite eval interval: the monitor only
+    # checks budgets at eval wake-ups, so the run stops on max_updates.
+    # The interval is sparse (~150 updates) because held-out evals cost
+    # both sides identically and only dilute the step-throughput ratio.
+    kwargs = {} if use_arena is None else {"use_arena": use_arena}
+    return RunConfig(
+        algorithm="LSH_ps1",
+        m=m,
+        eta=0.01,
+        seed=7,
+        epsilons=(1e-6,),
+        eval_interval=150 * (cost.tc + cost.tu) / m,
+        max_updates=max_updates,
+        max_virtual_time=1e18,
+        **kwargs,
+    )
+
+
+def measure(arch: str, batch: int, m: int, max_updates: int, reps: int, *, mode: str):
+    """Best-of-``reps`` steps/sec plus the run's identity triple.
+
+    ``mode``: ``"default"`` leaves every switch at the importing tree's
+    default (used by the subprocess children, where the tree decides),
+    ``"pooled"`` / ``"compat"`` force the switches on / off.
+    """
+    use = {"default": None, "pooled": True, "compat": False}[mode]
+    problem, cost = build_problem(arch, batch, use_workspace=use)
+    config = build_config(m, max_updates, cost, use_arena=use)
+    best = 0.0
+    for _ in range(reps):
+        t0 = time.process_time()
+        result = run_once(problem, cost, config)
+        elapsed = time.process_time() - t0
+        best = max(best, result.n_updates / elapsed)
+    identity = (
+        result.n_updates,
+        float(result.virtual_time),
+        float(result.report.final_loss),
+    )
+    return best, identity
+
+
+# ----------------------------------------------------------------------
+# Child protocol: ``--child arch batch m updates reps`` prints one JSON
+# line. Uses only ``mode="default"`` so a pre-arena tree (which knows
+# nothing of use_arena/use_workspace) runs its own step path untouched.
+# ----------------------------------------------------------------------
+
+
+def run_child(args: argparse.Namespace) -> None:
+    arch, batch, m, updates, reps = args.child
+    best, identity = measure(
+        arch, int(batch), int(m), int(updates), int(reps), mode="default"
+    )
+    print(json.dumps({"steps_per_sec": best, "identity": identity}))
+
+
+def spawn_child(src_path: str, workload, reps: int) -> dict:
+    name, arch, batch, m, updates = workload
+    env = dict(os.environ, PYTHONPATH=src_path, BENCH_STEP_SRC_FROM_ENV="1")
+    out = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child",
+         arch, str(batch), str(m), str(updates), str(reps)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(out.stdout.strip().splitlines()[-1])
+
+
+# ----------------------------------------------------------------------
+
+
+def bench_inprocess(workload, reps: int) -> dict:
+    name, arch, batch, m, updates = workload
+    compat, id_compat = measure(arch, batch, m, updates, reps, mode="compat")
+    pooled, id_pooled = measure(arch, batch, m, updates, reps, mode="pooled")
+    return {
+        "workload": name,
+        "compat_steps_per_sec": round(compat, 1),
+        "pooled_steps_per_sec": round(pooled, 1),
+        "speedup": round(pooled / compat, 3),
+        "bitwise_identical": id_compat == id_pooled,
+        "n_updates": id_compat[0],
+        "final_loss": id_compat[2],
+    }
+
+
+def bench_vs_baseline(workload, baseline_src: str, current_src: str,
+                      pairs: int, reps: int) -> dict:
+    name = workload[0]
+    ratios, befores, afters = [], [], []
+    identical = True
+    for _ in range(pairs):
+        before = spawn_child(baseline_src, workload, reps)
+        after = spawn_child(current_src, workload, reps)
+        befores.append(before["steps_per_sec"])
+        afters.append(after["steps_per_sec"])
+        ratios.append(after["steps_per_sec"] / before["steps_per_sec"])
+        identical &= before["identity"] == after["identity"]
+    return {
+        "workload": name,
+        "before_steps_per_sec": round(max(befores), 1),
+        "after_steps_per_sec": round(max(afters), 1),
+        "speedup_median_of_pairs": round(statistics.median(ratios), 3),
+        "pair_ratios": [round(r, 3) for r in ratios],
+        "bitwise_identical": identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("full", "smoke"), default="full")
+    parser.add_argument("--smoke", action="store_true", help="alias for --mode smoke")
+    parser.add_argument("--baseline-src",
+                        help="path to a pre-arena tree's src/ for the honest before/after")
+    parser.add_argument("--baseline-rev", default="",
+                        help="revision the baseline tree is checked out at (recorded)")
+    parser.add_argument("--pairs", type=int, default=5,
+                        help="alternating before/after pairs per workload")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="runs per measurement (best-of)")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    parser.add_argument("--child", nargs=5, metavar=("ARCH", "BATCH", "M", "UPD", "REPS"),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args()
+    if args.child:
+        run_child(args)
+        return 0
+    mode = "smoke" if args.smoke else args.mode
+
+    payload = {
+        "mode": mode,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+    if mode == "smoke":
+        workload = ("mlp_b8_m4_smoke", "mlp", 8, 2, 40)
+        row = bench_inprocess(workload, reps=1)
+        payload["inprocess"] = [row]
+        print(f"[smoke] {row['workload']}: compat {row['compat_steps_per_sec']} -> "
+              f"pooled {row['pooled_steps_per_sec']} steps/s "
+              f"(x{row['speedup']}, bitwise_identical={row['bitwise_identical']})")
+        if not row["bitwise_identical"]:
+            print("FAIL: pooled and compat runs diverged", file=sys.stderr)
+            return 1
+        return 0
+
+    print("== in-process: pooled (default) vs compat (pre-arena allocation pattern) ==")
+    payload["inprocess"] = []
+    for workload in WORKLOADS:
+        row = bench_inprocess(workload, args.reps)
+        payload["inprocess"].append(row)
+        print(f"  {row['workload']}: compat {row['compat_steps_per_sec']} -> "
+              f"pooled {row['pooled_steps_per_sec']} steps/s (x{row['speedup']}, "
+              f"bitwise_identical={row['bitwise_identical']})")
+
+    if args.baseline_src:
+        current_src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+        print(f"== subprocess: pre-arena baseline ({args.baseline_rev or args.baseline_src}) "
+              "vs current ==")
+        payload["baseline_rev"] = args.baseline_rev
+        payload["vs_baseline"] = []
+        for workload in WORKLOADS:
+            row = bench_vs_baseline(
+                workload, args.baseline_src, current_src, args.pairs, args.reps
+            )
+            payload["vs_baseline"].append(row)
+            print(f"  {row['workload']}: before {row['before_steps_per_sec']} -> "
+                  f"after {row['after_steps_per_sec']} steps/s "
+                  f"(median x{row['speedup_median_of_pairs']}, pairs {row['pair_ratios']}, "
+                  f"bitwise_identical={row['bitwise_identical']})")
+    else:
+        print("(no --baseline-src: skipping the pre-arena subprocess comparison)")
+
+    out_path = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_step.json"
+    )
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,7 +33,10 @@ class AsyncLockSGD(Algorithm):
         self.lock: SimLock | None = None
 
     def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
-        self.param = ParameterVector(ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype)
+        self.param = ParameterVector(
+            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype,
+            arena=ctx.arena,
+        )
         self.param.theta[...] = theta0
         self.lock = SimLock("PARAM.mtx", acquire_cost=ctx.cost.t_lock)
 
@@ -42,10 +45,12 @@ class AsyncLockSGD(Algorithm):
     ) -> Generator:
         param, lock = self.param, self.lock
         local_param = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         handle.local_pvs.append(local_param)
         grad = handle.grad_pv.theta
+        scratch = handle.step_scratch
         while True:
             # --- read phase: local_param.theta = copy(PARAM.theta) under mtx
             requested = ctx.scheduler.now
@@ -69,7 +74,7 @@ class AsyncLockSGD(Algorithm):
                     ctx.scheduler.now, thread.tid,
                     float(np.linalg.norm(local_param.theta - param.theta)),
                 )
-            param.update(grad, ctx.eta)
+            param.update(grad, ctx.eta, scratch=scratch)
             yield ctx.cost.tu  # bulk write inside the critical section
             seq = ctx.global_seq.fetch_add(1)
             lock.release(thread)

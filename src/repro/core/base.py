@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.parameter_vector import ParameterVector
 from repro.core.problem import GradFn, Problem
 from repro.errors import ConfigurationError
+from repro.sim.arena import BufferArena
 from repro.sim.cost import CostModel
 from repro.sim.memory import MemoryAccountant
 from repro.sim.scheduler import Scheduler
@@ -54,6 +55,11 @@ class SGDContext:
     memory: MemoryAccountant
     rng_factory: RngFactory
     dtype: np.dtype | type = np.float32
+    #: Optional payload pool shared by every ParameterVector of the run;
+    #: makes the steady-state publish/reclaim cycle allocation-free (see
+    #: :mod:`repro.sim.arena`). None disables pooling (pre-arena
+    #: behaviour, bitwise-identical results either way).
+    arena: BufferArena | None = None
     global_seq: AtomicCounter = field(default_factory=AtomicCounter)
     #: Opt-in elastic-consistency instrumentation [2]: when True, each
     #: worker records the L2 distance between its gradient's view and
@@ -73,6 +79,11 @@ class WorkerHandle:
     index: int
     grad_pv: ParameterVector
     grad_fn: GradFn
+    #: Scratch d-buffer for the ``eta * grad`` product of the worker's
+    #: bulk updates — replaces the anonymous temporary NumPy would
+    #: otherwise allocate every step (real memory only; never accounted,
+    #: exactly as the temporary never was).
+    step_scratch: np.ndarray | None = None
     local_pvs: list[ParameterVector] = field(default_factory=list)
 
 
@@ -102,10 +113,23 @@ class Algorithm(abc.ABC):
     def make_worker(self, ctx: SGDContext, index: int) -> WorkerHandle:
         """Allocate a worker's private gradient buffer and batch stream."""
         grad_pv = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="local_grad", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="local_grad", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         rng = ctx.rng_factory.named(f"worker{index}")
-        return WorkerHandle(index=index, grad_pv=grad_pv, grad_fn=ctx.problem.make_grad_fn(rng))
+        # Scratch rides with the arena switch: with pooling off the run
+        # reproduces the pre-arena allocation pattern exactly (anonymous
+        # eta*grad temporaries and all), which is what the before/after
+        # comparison in scripts/bench_step.py measures.
+        scratch = (
+            np.empty(ctx.problem.d, dtype=ctx.dtype) if ctx.arena is not None else None
+        )
+        return WorkerHandle(
+            index=index,
+            grad_pv=grad_pv,
+            grad_fn=ctx.problem.make_grad_fn(rng),
+            step_scratch=scratch,
+        )
 
     def spawn_workers(self, ctx: SGDContext, m: int) -> list[SimThread]:
         """Create ``m`` workers and register them with the scheduler."""

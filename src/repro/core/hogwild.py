@@ -47,7 +47,10 @@ class HogwildSGD(Algorithm):
     def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
         from repro.sim.sync import AtomicCounter
 
-        self.param = ParameterVector(ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype)
+        self.param = ParameterVector(
+            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype,
+            arena=ctx.arena,
+        )
         self.param.theta[...] = theta0
         self._accessors = AtomicCounter(0)
 
@@ -56,10 +59,12 @@ class HogwildSGD(Algorithm):
     ) -> Generator:
         param = self.param
         local_param = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         handle.local_pvs.append(local_param)
         grad = handle.grad_pv.theta
+        scratch = handle.step_scratch
         slices = chunk_slices(ctx.problem.d, ctx.cost.n_chunks)
         copy_chunk_cost = ctx.cost.t_copy / len(slices)
         update_chunk_cost = ctx.cost.tu / len(slices)
@@ -90,7 +95,13 @@ class HogwildSGD(Algorithm):
             accessors.fetch_add(1)
             with np.errstate(over="ignore", invalid="ignore"):
                 for sl in slices:
-                    shared[sl] -= eta * grad[sl]
+                    if scratch is None:
+                        shared[sl] -= eta * grad[sl]
+                    else:
+                        # eta * grad[sl] lands in the worker's scratch slice
+                        # instead of a per-chunk temporary (same bits).
+                        np.multiply(grad[sl], eta, out=scratch[sl])
+                        shared[sl] -= scratch[sl]
                     yield ctx.cost.contended(update_chunk_cost, accessors.load() - 1)
             accessors.fetch_add(-1)
             param.t += 1  # measurement-only sequence bump (no sync in HOGWILD!)

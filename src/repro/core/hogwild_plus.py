@@ -64,14 +64,16 @@ class HogwildPlusPlus(Algorithm):
         self._accessors = []
         for c in range(self.n_clusters):
             replica = ParameterVector(
-                ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype
+                ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype,
+                arena=ctx.arena,
             )
             replica.theta[...] = theta0
             self.replicas.append(replica)
             self.snapshots.append(np.array(theta0, dtype=ctx.dtype))
             self._accessors.append(AtomicCounter(0))
         self.token = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         self.token.theta[...] = theta0
 
@@ -112,10 +114,12 @@ class HogwildPlusPlus(Algorithm):
         replica = self.replicas[cluster]
         accessors = self._accessors[cluster]
         local_param = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="local_param", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         handle.local_pvs.append(local_param)
         grad = handle.grad_pv.theta
+        scratch = handle.step_scratch
         slices = chunk_slices(ctx.problem.d, ctx.cost.n_chunks)
         copy_chunk = ctx.cost.t_copy / len(slices)
         update_chunk = ctx.cost.tu / len(slices)
@@ -135,7 +139,11 @@ class HogwildPlusPlus(Algorithm):
             accessors.fetch_add(1)
             with np.errstate(over="ignore", invalid="ignore"):
                 for sl in slices:
-                    shared[sl] -= eta * grad[sl]
+                    if scratch is None:
+                        shared[sl] -= eta * grad[sl]
+                    else:
+                        np.multiply(grad[sl], eta, out=scratch[sl])
+                        shared[sl] -= scratch[sl]
                     yield ctx.cost.contended(update_chunk, accessors.load() - 1)
             accessors.fetch_add(-1)
             replica.t += 1

@@ -54,7 +54,8 @@ class LeashedSGD(Algorithm):
     # ------------------------------------------------------------------
     def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
         init_pv = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="published", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="published", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         init_pv.theta[...] = theta0
         self.pointer = AtomicRef(init_pv)
@@ -83,6 +84,7 @@ class LeashedSGD(Algorithm):
     ) -> Generator:
         pointer = self.pointer
         grad = handle.grad_pv.theta
+        scratch = handle.step_scratch
         eta = ctx.eta
         view_copy = (
             np.empty(ctx.problem.d, dtype=ctx.dtype)
@@ -101,8 +103,13 @@ class LeashedSGD(Algorithm):
             yield ctx.cost.t_atomic
 
             # --- allocate the private candidate (dynamic allocation: P2).
+            # zero_init=False (np.empty / recycled-arena semantics) is
+            # sound here: the LAU-SPC loop below unconditionally
+            # overwrites the whole payload — copyto or step_from against
+            # the latest published vector — before its first read.
             new_pv = ParameterVector(
-                ctx.problem.d, memory=ctx.memory, tag="published", dtype=ctx.dtype
+                ctx.problem.d, memory=ctx.memory, tag="published", dtype=ctx.dtype,
+                arena=ctx.arena, zero_init=False,
             )
             yield ctx.cost.t_alloc
 
@@ -111,17 +118,34 @@ class LeashedSGD(Algorithm):
             enter_time = ctx.scheduler.now
             while True:
                 target = yield from self._latest_pointer(ctx)
-                np.copyto(new_pv.theta, target.theta)
-                new_pv.t = target.t
-                yield ctx.cost.t_copy
-                target.stop_reading()
-                yield ctx.cost.t_atomic
-                if view_copy is not None:
-                    ctx.trace.add_view_divergence(
-                        ctx.scheduler.now, thread.tid,
-                        float(np.linalg.norm(view_copy - new_pv.theta)),
-                    )
-                new_pv.update(grad, self.effective_eta(eta, target.t - view_t))
+                eta_eff = self.effective_eta(eta, target.t - view_t)
+                if view_copy is None and scratch is not None:
+                    # Fused Load-And-Update: two 2-operand passes write
+                    # target - eta*grad straight into the candidate
+                    # (bitwise-identical to copy-then-update, one full
+                    # d-vector write/re-read cheaper). ``scratch`` acting
+                    # as the arena-on marker keeps the scratch-less mode
+                    # on the exact pre-arena instruction sequence below.
+                    new_pv.step_from(target, grad, eta_eff)
+                    yield ctx.cost.t_copy
+                    target.stop_reading()
+                    yield ctx.cost.t_atomic
+                else:
+                    # Two-phase path: measurement mode needs the
+                    # candidate's pre-update state, and the no-arena
+                    # (scratch-less) mode reproduces the pre-arena
+                    # copy-then-update step.
+                    np.copyto(new_pv.theta, target.theta)
+                    new_pv.t = target.t
+                    yield ctx.cost.t_copy
+                    target.stop_reading()
+                    yield ctx.cost.t_atomic
+                    if view_copy is not None:
+                        ctx.trace.add_view_divergence(
+                            ctx.scheduler.now, thread.tid,
+                            float(np.linalg.norm(view_copy - new_pv.theta)),
+                        )
+                    new_pv.update(grad, eta_eff, scratch=scratch)
                 yield ctx.cost.tu
                 succ = pointer.compare_and_swap(target, new_pv)
                 yield ctx.cost.t_atomic

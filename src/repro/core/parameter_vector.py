@@ -14,6 +14,13 @@ algorithm or in this reproduction surfaces immediately as a
 :class:`repro.errors.MemoryAccountingError` / ``AttributeError`` instead
 of silently reading recycled data — this is how the safety half of the
 paper's Lemma 2 is *tested*, not assumed.
+
+With a :class:`repro.sim.arena.BufferArena` attached, reclamation
+additionally *recycles* the payload: the buffer is detached from the
+dying instance (so ``_require_live`` still catches every in-protocol
+use-after-free), optionally NaN-poisoned, and parked for the next
+construction — the paper's memory-recycling scheme taken to its logical
+end, where the steady-state update path performs zero real allocations.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.sim.arena import BufferArena
 from repro.sim.memory import MemoryAccountant
 from repro.sim.sync import AtomicCounter, AtomicFlag
 
@@ -42,9 +50,22 @@ class ParameterVector:
     dtype:
         Payload dtype (float32 default: halves memory traffic, ample
         precision for SGD).
+    arena:
+        Optional buffer pool. Construction draws the payload from it and
+        reclamation returns the payload to it, making steady-state
+        publication allocation-free. Pool hits/misses are tallied on
+        ``memory`` when both are present.
+    zero_init:
+        When False the payload is left uninitialized (``np.empty``
+        semantics) — valid only for instances whose payload is
+        unconditionally overwritten before its first read, like the
+        LAU-SPC candidate in :mod:`repro.core.leashed`.
     """
 
-    __slots__ = ("theta", "t", "n_rdrs", "stale_flag", "deleted", "_memory", "_block_id", "tag")
+    __slots__ = (
+        "theta", "t", "n_rdrs", "stale_flag", "deleted",
+        "_memory", "_block_id", "_arena", "tag",
+    )
 
     def __init__(
         self,
@@ -53,16 +74,28 @@ class ParameterVector:
         memory: MemoryAccountant | None = None,
         tag: str = "pv",
         dtype: np.dtype | type = np.float32,
+        arena: BufferArena | None = None,
+        zero_init: bool = True,
     ) -> None:
         if d <= 0:
             raise SimulationError(f"ParameterVector dimension must be > 0, got {d}")
-        self.theta: np.ndarray | None = np.zeros(d, dtype=dtype)
+        if arena is not None:
+            was_hits = arena.hits
+            theta = arena.acquire(d, dtype)
+            if memory is not None:
+                memory.record_pool(arena.hits > was_hits)
+            if zero_init:
+                theta.fill(0.0)
+        else:
+            theta = np.zeros(d, dtype=dtype) if zero_init else np.empty(d, dtype=dtype)
+        self.theta: np.ndarray | None = theta
         self.t = 0
         self.n_rdrs = AtomicCounter(0)
         self.stale_flag = False
         self.deleted = AtomicFlag(False)
         self.tag = tag
         self._memory = memory
+        self._arena = arena
         self._block_id = (
             memory.allocate(tag, int(d) * self.theta.itemsize) if memory is not None else None
         )
@@ -96,12 +129,17 @@ class ParameterVector:
             return True
         return False
 
-    def update(self, delta: np.ndarray, eta: float) -> None:
+    def update(self, delta: np.ndarray, eta: float, *, scratch: np.ndarray | None = None) -> None:
         """``t += 1; theta -= eta * delta`` — the bulk read-modify-write.
 
         The in-place NumPy operation is the whole point: for the
         HOGWILD!-style algorithms the same buffer is updated slice-wise
         (see :mod:`repro.core.hogwild`) to model component-wise writes.
+
+        ``scratch`` may supply a caller-owned d-buffer for the
+        ``eta * delta`` product; without it NumPy materializes the same
+        product in a fresh temporary, so passing one makes the step
+        allocation-free without changing a single bit of the result.
         """
         self._require_live("update")
         self.t += 1
@@ -109,11 +147,45 @@ class ParameterVector:
         # overflows; the paper calls those executions 'Crash' and the
         # convergence monitor detects them via non-finite loss.
         with np.errstate(over="ignore", invalid="ignore"):
-            self.theta -= eta * delta
+            if scratch is None:
+                self.theta -= eta * delta
+            else:
+                np.multiply(delta, eta, out=scratch)
+                self.theta -= scratch
+
+    def step_from(
+        self,
+        source: "ParameterVector",
+        delta: np.ndarray,
+        eta: float,
+    ) -> None:
+        """Fused LAU: ``theta = source.theta - eta * delta; t = source.t + 1``.
+
+        Bitwise-identical to ``copyto(theta, source.theta)`` followed by
+        :meth:`update` (both compute ``source - (eta * delta)``
+        elementwise): ``(-eta) * delta`` is an IEEE-exact sign flip of
+        ``eta * delta``, and ``x + (-y)`` is exactly ``x - y``. Writing
+        it this way keeps every pass down to two live buffers — no
+        temporary, no scratch, and no 3-operand op spilling the cache —
+        which is the cheapest formulation measured for the LAU-SPC
+        loop's per-attempt work.
+        """
+        self._require_live("step_from")
+        source._require_live("step_from source")
+        self.t = source.t + 1
+        with np.errstate(over="ignore", invalid="ignore"):
+            np.multiply(delta, -eta, out=self.theta)
+            self.theta += source.theta
 
     # -- internals ----------------------------------------------------------
     def _release_payload(self) -> None:
-        self.theta = None
+        # Detach *before* recycling: any later in-protocol access sees
+        # theta is None and raises via _require_live, with or without an
+        # arena. Only a raw alias captured earlier can still reach the
+        # buffer — poison mode (BufferArena) covers that hazard.
+        buf, self.theta = self.theta, None
+        if self._arena is not None and buf is not None:
+            self._arena.release(buf)
         if self._memory is not None and self._block_id is not None:
             self._memory.free(self._block_id)
 

@@ -73,6 +73,11 @@ class DLProblem(Problem):
         ``"normal"`` (paper) or ``"he"`` / ``"xavier"`` extensions.
     dtype:
         Parameter dtype.
+    use_workspace:
+        Give each worker's gradient closure a preallocated
+        :class:`repro.nn.workspace.StepWorkspace` so the steady-state
+        forward/backward pass allocates nothing (on by default; results
+        are bitwise identical either way).
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class DLProblem(Problem):
         init_std: float = 0.1,
         init_scheme: str = "normal",
         dtype: np.dtype | type = np.float32,
+        use_workspace: bool = True,
     ) -> None:
         if train_x.shape[0] != train_y.shape[0]:
             raise ConfigurationError("train_x / train_y sample counts disagree")
@@ -103,6 +109,7 @@ class DLProblem(Problem):
         self.init_std = float(init_std)
         self.init_scheme = init_scheme
         self.dtype = dtype
+        self.use_workspace = bool(use_workspace)
 
     @property
     def d(self) -> int:
@@ -116,11 +123,36 @@ class DLProblem(Problem):
     def make_grad_fn(self, rng: np.random.Generator) -> GradFn:
         batcher = MiniBatcher(self.train_x, self.train_y, self.batch_size, rng)
         network = self.network
+        # Per-worker scratch: the batcher's (possibly clipped) batch size
+        # is fixed for its lifetime, so one workspace covers every call.
+        workspace = (
+            network.make_workspace(batcher.batch_size, dtype=self.dtype)
+            if self.use_workspace
+            else None
+        )
 
-        def grad_fn(theta: np.ndarray, out: np.ndarray) -> None:
-            x, y = batcher.next_batch()
-            with np.errstate(over="ignore", invalid="ignore"):
-                network.loss_and_grad(x, y, theta, grad_out=out)
+        if workspace is not None:
+            # Completing the zero-allocation step: the batch gather also
+            # lands in worker-owned buffers (same samples, same bits —
+            # see MiniBatcher.next_batch_into). Safe to reuse per call:
+            # forward caches only outlive the buffers' contents within a
+            # single loss_and_grad invocation.
+            x_buf = np.empty(
+                (batcher.batch_size,) + self.train_x.shape[1:], dtype=self.train_x.dtype
+            )
+            y_buf = np.empty(batcher.batch_size, dtype=self.train_y.dtype)
+
+            def grad_fn(theta: np.ndarray, out: np.ndarray) -> None:
+                x, y = batcher.next_batch_into(x_buf, y_buf)
+                with np.errstate(over="ignore", invalid="ignore"):
+                    network.loss_and_grad(x, y, theta, grad_out=out, workspace=workspace)
+
+        else:
+
+            def grad_fn(theta: np.ndarray, out: np.ndarray) -> None:
+                x, y = batcher.next_batch()
+                with np.errstate(over="ignore", invalid="ignore"):
+                    network.loss_and_grad(x, y, theta, grad_out=out, workspace=workspace)
 
         return grad_fn
 

@@ -25,7 +25,10 @@ class SequentialSGD(Algorithm):
         self.param: ParameterVector | None = None
 
     def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
-        self.param = ParameterVector(ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype)
+        self.param = ParameterVector(
+            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype,
+            arena=ctx.arena,
+        )
         self.param.theta[...] = theta0
 
     def worker_body(
@@ -35,10 +38,11 @@ class SequentialSGD(Algorithm):
             raise ConfigurationError("SEQ admits exactly one worker (m=1)")
         param = self.param
         grad = handle.grad_pv.theta
+        scratch = handle.step_scratch
         while True:
             handle.grad_fn(param.theta, grad)
             yield ctx.cost.tc
-            param.update(grad, ctx.eta)
+            param.update(grad, ctx.eta, scratch=scratch)
             yield ctx.cost.tu
             seq = ctx.global_seq.fetch_add(1)
             ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, 0)

@@ -37,7 +37,8 @@ class SyncSGD(Algorithm):
 
     def setup(self, ctx: SGDContext, theta0: np.ndarray) -> None:
         self.param = ParameterVector(
-            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype
+            ctx.problem.d, memory=ctx.memory, tag="shared", dtype=ctx.dtype,
+            arena=ctx.arena,
         )
         self.param.theta[...] = theta0
         self._grad_sum = np.zeros(ctx.problem.d, dtype=ctx.dtype)
@@ -68,7 +69,8 @@ class SyncSGD(Algorithm):
             # resumes everyone, and exactly one thread observes the
             # generation it completed.
             if self._take_aggregator_token(thread):
-                param.update(grad_sum, ctx.eta / m)  # average of m gradients
+                # average of m gradients
+                param.update(grad_sum, ctx.eta / m, scratch=handle.step_scratch)
                 grad_sum[...] = 0.0
                 yield ctx.cost.tu
                 seq = ctx.global_seq.fetch_add(1)

@@ -92,11 +92,43 @@ class MiniBatcher:
         self._y = y
         self.batch_size = int(min(batch_size, x.shape[0]))
         self._rng = rng
+        self._idx_block: np.ndarray | None = None
+        self._idx_pos = 0
+
+    #: Batches of indices drawn per RNG call on the buffered path — one
+    #: ``Generator.integers`` call has ~6us of fixed overhead, so the
+    #: hot path draws indices in blocks and slices them per batch.
+    _INDEX_BLOCK_BATCHES = 64
 
     def next_batch(self) -> tuple[np.ndarray, np.ndarray]:
         """Draw one uniform with-replacement mini-batch."""
         idx = self._rng.integers(0, self._x.shape[0], size=self.batch_size)
         return self._x[idx], self._y[idx]
+
+    def next_batch_into(
+        self, x_out: np.ndarray, y_out: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw a mini-batch into caller-owned buffers (no allocation).
+
+        Produces the exact index sequence of :meth:`next_batch` from the
+        same seed — bounded integer sampling is element-wise, so one
+        block draw is bitwise-equal to the concatenation of per-batch
+        draws — and gathers the same samples (``take`` == fancy
+        indexing, element for element). The block draw *pre-consumes*
+        the RNG stream, though, so switching methods mid-stream on one
+        instance diverges; each consumer picks one path and stays on it.
+        """
+        block = self._idx_block
+        if block is None or self._idx_pos >= block.shape[0]:
+            block = self._idx_block = self._rng.integers(
+                0, self._x.shape[0], size=self._INDEX_BLOCK_BATCHES * self.batch_size
+            )
+            self._idx_pos = 0
+        idx = block[self._idx_pos : self._idx_pos + self.batch_size]
+        self._idx_pos += self.batch_size
+        self._x.take(idx, axis=0, out=x_out)
+        self._y.take(idx, axis=0, out=y_out)
+        return x_out, y_out
 
     @property
     def n_samples(self) -> int:

@@ -48,6 +48,9 @@ class RunConfig:
     epsilons / target_epsilon:
         Thresholds as fractions of the initial loss; the run stops when
         ``target_epsilon`` (default: smallest of ``epsilons``) is hit.
+    use_arena / arena_poison:
+        Payload pooling for ParameterVector instances (on by default;
+        bitwise-identical results) and its NaN-poisoning debug mode.
     eval_interval:
         Monitor period in virtual seconds (None: auto ~ every couple of
         global updates).
@@ -70,6 +73,15 @@ class RunConfig:
     jitter_sigma: float = 0.08
     speed_spread_sigma: float = 0.05
     dtype: type = np.float32
+    #: Recycle reclaimed ParameterVector payloads through a run-local
+    #: :class:`repro.sim.arena.BufferArena` (zero steady-state NumPy
+    #: allocations per update). Results are bitwise-identical with the
+    #: pool on or off; off reproduces the pre-arena allocation pattern.
+    use_arena: bool = True
+    #: Debug mode: NaN-poison recycled payloads so a use-after-free
+    #: through a stale array alias fails loudly (see docs/simulator.md,
+    #: "Allocation model"). Costs one d-vector fill per reclamation.
+    arena_poison: bool = False
 
     def __post_init__(self) -> None:
         check_positive("m", self.m)

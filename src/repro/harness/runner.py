@@ -17,6 +17,7 @@ from repro.core.base import SGDContext, make_algorithm
 from repro.core.convergence import ConvergenceMonitor, ConvergenceReport, RunStatus
 from repro.core.problem import Problem
 from repro.harness.config import RunConfig
+from repro.sim.arena import BufferArena
 from repro.sim.cost import CostModel
 from repro.sim.memory import MemoryAccountant
 from repro.sim.scheduler import Scheduler, SchedulerConfig
@@ -44,6 +45,8 @@ class RunResult:
     peak_pv_count: int
     peak_pv_bytes: int
     mean_pv_bytes: float
+    pool_hits: int
+    pool_misses: int
     memory_timeline: tuple[np.ndarray, np.ndarray, np.ndarray]
     retry_occupancy: tuple[np.ndarray, np.ndarray]
     final_accuracy: float = float("nan")
@@ -94,6 +97,7 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
     )
     trace = TraceRecorder()
     memory = MemoryAccountant(lambda: scheduler.now)
+    arena = BufferArena(poison=config.arena_poison) if config.use_arena else None
     ctx = SGDContext(
         problem=problem,
         cost=cost,
@@ -103,6 +107,7 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
         memory=memory,
         rng_factory=factory,
         dtype=config.dtype,
+        arena=arena,
     )
     algorithm = make_algorithm(config.algorithm)
     theta0 = problem.init_theta(factory.named("init"))
@@ -150,6 +155,8 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
         peak_pv_count=memory.peak_count,
         peak_pv_bytes=memory.peak_bytes,
         mean_pv_bytes=memory.mean_live_bytes(),
+        pool_hits=memory.pool_hits,
+        pool_misses=memory.pool_misses,
         memory_timeline=memory.timeline(resolution=100),
         retry_occupancy=trace.retry_loop_occupancy(resolution=100),
         final_accuracy=accuracy,

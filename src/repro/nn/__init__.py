@@ -14,7 +14,8 @@ their synchronization protocol dictates.
 
 from repro.nn.parameter import ParameterLayout
 from repro.nn.network import Network
-from repro.nn.loss import softmax_cross_entropy, softmax
+from repro.nn.workspace import StepWorkspace
+from repro.nn.loss import softmax_cross_entropy, softmax_cross_entropy_inplace, softmax
 from repro.nn.layers import Dense, ReLU, Flatten, Conv2D, MaxPool2D, Dropout
 from repro.nn.init import normal_init, he_init, xavier_init
 from repro.nn.architectures import mlp_mnist, cnn_mnist, mlp_custom, MLP_DIMENSION, CNN_DIMENSION
@@ -22,7 +23,9 @@ from repro.nn.architectures import mlp_mnist, cnn_mnist, mlp_custom, MLP_DIMENSI
 __all__ = [
     "ParameterLayout",
     "Network",
+    "StepWorkspace",
     "softmax_cross_entropy",
+    "softmax_cross_entropy_inplace",
     "softmax",
     "Dense",
     "ReLU",

@@ -70,13 +70,47 @@ class Conv2D(Layer):
         # W stored as (F, C*kh*kw): the matmul-ready filter matrix.
         return [("W", (self.filters, c * kh * kw)), ("b", (self.filters,))]
 
-    def forward(self, x: np.ndarray, params: Sequence[np.ndarray]) -> tuple[np.ndarray, Any]:
+    def make_workspace(
+        self,
+        batch: int,
+        in_shape: tuple[int, ...],
+        out_shape: tuple[int, ...],
+        dtype: np.dtype,
+    ) -> dict[str, np.ndarray]:
+        c, h, w = in_shape
+        f, oh, ow = out_shape
+        kh, kw = self.kernel
+        return {
+            # im2col patch matrix (forward) and its gradient (backward);
+            # both live across the matmuls, so they cannot share storage.
+            "cols": np.empty((batch, oh * ow, c * kh * kw), dtype=dtype),
+            "mm": np.empty((batch, oh * ow, f), dtype=dtype),
+            "out": np.empty((batch, f, oh, ow), dtype=dtype),
+            "gcols": np.empty((batch, oh * ow, c * kh * kw), dtype=dtype),
+            "gx": np.empty((batch, c, h, w), dtype=dtype),
+        }
+
+    def forward(
+        self, x: np.ndarray, params: Sequence[np.ndarray], *, ws: dict | None = None
+    ) -> tuple[np.ndarray, Any]:
         W, b = params
         kh, kw = self.kernel
-        cols, oh, ow = im2col(x, kh, kw)
-        out = cols @ W.T + b  # (N, OH*OW, F)
         n = x.shape[0]
-        out = out.transpose(0, 2, 1).reshape(n, self.filters, oh, ow)
+        if ws is None:
+            cols, oh, ow = im2col(x, kh, kw)
+            out = cols @ W.T + b  # (N, OH*OW, F)
+            out = out.transpose(0, 2, 1).reshape(n, self.filters, oh, ow)
+            return out, (cols, x.shape, oh, ow)
+        oh, ow = self._out_shape[1], self._out_shape[2]
+        cols, mm, out = ws["cols"], ws["mm"], ws["out"]
+        windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+        patches = windows.transpose(0, 2, 3, 1, 4, 5)  # (N, OH, OW, C, kh, kw)
+        # Axis-splitting reshape of the contiguous cols buffer is a view,
+        # so this is the im2col copy written straight into the workspace.
+        np.copyto(cols.reshape(patches.shape), patches)
+        np.matmul(cols, W.T, out=mm)
+        mm += b
+        np.copyto(out.reshape(n, self.filters, oh * ow), mm.transpose(0, 2, 1))
         return out, (cols, x.shape, oh, ow)
 
     def backward(
@@ -85,6 +119,8 @@ class Conv2D(Layer):
         cache: Any,
         params: Sequence[np.ndarray],
         grads: Sequence[np.ndarray],
+        *,
+        ws: dict | None = None,
     ) -> np.ndarray:
         W, _ = params
         gW, gb = grads
@@ -102,9 +138,14 @@ class Conv2D(Layer):
         np.sum(grad_out, axis=(0, 2, 3), out=gb)
         # Input gradient: scatter-add each kernel offset (kh*kw small loops,
         # each a fully vectorized slice-add).
-        gcols = g2 @ W  # (N, OH*OW, C*kh*kw)
+        if ws is None:
+            gcols = g2 @ W  # (N, OH*OW, C*kh*kw)
+            gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        else:
+            gcols, gx = ws["gcols"], ws["gx"]
+            np.matmul(g2, W, out=gcols)
+            gx.fill(0)
         gcols = gcols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-        gx = np.zeros(x_shape, dtype=grad_out.dtype)
         for i in range(kh):
             for j in range(kw):
                 gx[:, :, i : i + oh, j : j + ow] += gcols[:, :, i, j]

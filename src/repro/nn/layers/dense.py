@@ -40,9 +40,28 @@ class Dense(Layer):
             raise ShapeError("Dense.param_shapes accessed before build()")
         return [("W", (self._in_features, self.units)), ("b", (self.units,))]
 
-    def forward(self, x: np.ndarray, params: Sequence[np.ndarray]) -> tuple[np.ndarray, Any]:
+    def make_workspace(
+        self,
+        batch: int,
+        in_shape: tuple[int, ...],
+        out_shape: tuple[int, ...],
+        dtype: np.dtype,
+    ) -> dict[str, np.ndarray]:
+        return {
+            "out": np.empty((batch, self.units), dtype=dtype),
+            "gin": np.empty((batch, self._in_features), dtype=dtype),
+        }
+
+    def forward(
+        self, x: np.ndarray, params: Sequence[np.ndarray], *, ws: dict | None = None
+    ) -> tuple[np.ndarray, Any]:
         W, b = params
-        return x @ W + b, x
+        if ws is None:
+            return x @ W + b, x
+        out = ws["out"]
+        np.matmul(x, W, out=out)
+        out += b
+        return out, x
 
     def backward(
         self,
@@ -50,14 +69,19 @@ class Dense(Layer):
         cache: Any,
         params: Sequence[np.ndarray],
         grads: Sequence[np.ndarray],
+        *,
+        ws: dict | None = None,
     ) -> np.ndarray:
         x = cache
         W, _ = params
         gW, gb = grads
         # Write into the flat-gradient views in place (no temporaries kept).
         np.matmul(x.T, grad_out, out=gW)
-        np.sum(grad_out, axis=0, out=gb)
-        return grad_out @ W.T
+        grad_out.sum(axis=0, out=gb)
+        if ws is None:
+            return grad_out @ W.T
+        np.matmul(grad_out, W.T, out=ws["gin"])
+        return ws["gin"]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Dense(units={self.units})"

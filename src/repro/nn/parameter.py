@@ -9,7 +9,8 @@ algorithms treat the whole model as a single bulk-updatable object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
@@ -19,21 +20,26 @@ from repro.errors import ShapeError
 
 @dataclass(frozen=True)
 class ParamSlot:
-    """One named tensor's placement inside the flat vector."""
+    """One named tensor's placement inside the flat vector.
+
+    ``size`` and ``stop`` are precomputed at construction: slot lookups
+    sit on the per-step gradient path (every layer's parameter views are
+    taken from them on each forward/backward), where recomputing
+    ``prod(shape)`` per access showed up as measurable overhead.
+    """
 
     name: str
     offset: int
     shape: tuple[int, ...]
+    #: Number of scalar parameters in this slot.
+    size: int = field(init=False)
+    #: One past the last flat index of this slot.
+    stop: int = field(init=False)
 
-    @property
-    def size(self) -> int:
-        """Number of scalar parameters in this slot."""
-        return int(np.prod(self.shape)) if self.shape else 1
-
-    @property
-    def stop(self) -> int:
-        """One past the last flat index of this slot."""
-        return self.offset + self.size
+    def __post_init__(self) -> None:
+        size = math.prod(self.shape) if self.shape else 1
+        object.__setattr__(self, "size", size)
+        object.__setattr__(self, "stop", self.offset + size)
 
 
 class ParameterLayout:

@@ -20,6 +20,7 @@ races (torn HOGWILD! writes, CAS failures, the stale-pointer re-check in
 ``latest_pointer()``) occur at the same granularity as on real hardware.
 """
 
+from repro.sim.arena import BufferArena
 from repro.sim.clock import VirtualClock
 from repro.sim.cost import CostModel, calibrate_cost_model
 from repro.sim.memory import MemoryAccountant
@@ -29,6 +30,7 @@ from repro.sim.thread import SimThread, ThreadState
 from repro.sim.trace import TraceRecorder, UpdateRecord, RetryLoopRecord
 
 __all__ = [
+    "BufferArena",
     "VirtualClock",
     "CostModel",
     "calibrate_cost_model",

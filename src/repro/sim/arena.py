@@ -1,0 +1,145 @@
+"""Pooled parameter-buffer arena: recycle payloads, never free them.
+
+The paper's memory-recycling scheme (Algorithm 1) bounds *live*
+``ParameterVector`` instances (Lemma 2: <= 3m for Leashed-SGD), but the
+reproduction used to hand every reclaimed payload back to the NumPy
+allocator and ``np.zeros`` a fresh one per publication — the dominant
+per-update cost once the scheduler fast path landed (PR 1). This module
+closes the loop the paper implies: reclaimed payloads are parked on a
+free list keyed by ``(d, dtype)`` and handed back out on the next
+allocation, so a steady-state Leashed/async/HOGWILD run performs zero
+NumPy data allocations per update.
+
+Safety is not weakened by recycling:
+
+* ``ParameterVector._release_payload`` still detaches ``theta`` from the
+  dying instance, so every in-protocol access after reclamation raises
+  through ``_require_live`` exactly as before.
+* The remaining hazard — a *raw array alias* (``pv.theta`` captured
+  before reclamation) read after the buffer was recycled — is covered by
+  the debug **poison mode**: released buffers are NaN-filled before they
+  enter the free list, so a stale alias reads NaN and the consumer's
+  loss/convergence monitoring fails loudly instead of silently training
+  on recycled data.
+* The :class:`repro.sim.memory.MemoryAccountant` keeps accounting
+  *simulated* allocations (every ``ParameterVector`` construction /
+  reclamation registers as before, pool hit or not), so the Lemma 2
+  live-instance bound checks are unchanged; it additionally records the
+  arena's hit/miss tally for the run reports.
+
+The arena is deliberately dumb: no locking (the simulator is
+single-threaded; process-parallel harness workers each build their own
+run-local arena) and exact-size matching only (every key in a run is one
+of a handful of ``(d, dtype)`` pairs — the model dimension dominates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["BufferArena"]
+
+
+class BufferArena:
+    """Free-list pool of 1-D NumPy buffers keyed by ``(size, dtype)``.
+
+    Parameters
+    ----------
+    poison:
+        Debug mode: NaN-fill float buffers as they are released, so any
+        use-after-free through a stale array alias surfaces as NaN
+        propagation instead of silent reuse of recycled data.
+    max_per_key:
+        Optional cap on parked buffers per ``(size, dtype)`` key;
+        releases beyond the cap drop the buffer to the allocator.
+        ``None`` (default) parks everything — steady state never grows
+        past the run's peak concurrent-buffer count.
+    """
+
+    def __init__(self, *, poison: bool = False, max_per_key: int | None = None) -> None:
+        if max_per_key is not None and max_per_key < 0:
+            raise SimulationError(f"max_per_key must be >= 0, got {max_per_key}")
+        self.poison = bool(poison)
+        self.max_per_key = max_per_key
+        self._free: dict[tuple[int, np.dtype], list[np.ndarray]] = {}
+        #: Acquisitions served from the free list / from a fresh allocation.
+        self.hits = 0
+        self.misses = 0
+        #: Buffers released back (parked or dropped past the cap).
+        self.released = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(size: int, dtype: np.dtype | type) -> tuple[int, np.dtype]:
+        return int(size), np.dtype(dtype)
+
+    def acquire(self, size: int, dtype: np.dtype | type = np.float32) -> np.ndarray:
+        """A 1-D buffer of ``size`` elements, recycled when possible.
+
+        The contents are **uninitialized** (arbitrary recycled data, or
+        NaN under poison mode) — callers must fully overwrite before the
+        first read, exactly as with ``np.empty``.
+        """
+        if size <= 0:
+            raise SimulationError(f"arena buffer size must be > 0, got {size}")
+        free = self._free.get(self._key(size, dtype))
+        if free:
+            self.hits += 1
+            return free.pop()
+        self.misses += 1
+        return np.empty(int(size), dtype=dtype)
+
+    def release(self, buf: np.ndarray) -> None:
+        """Park ``buf`` for reuse. The caller must drop every reference:
+        after release the buffer belongs to the arena (and will be
+        NaN-poisoned under poison mode, then handed to a future
+        :meth:`acquire`)."""
+        if buf.ndim != 1:
+            raise SimulationError(
+                f"arena only pools flat 1-D buffers, got shape {buf.shape}"
+            )
+        self.released += 1
+        key = self._key(buf.size, buf.dtype)
+        free = self._free.setdefault(key, [])
+        if self.max_per_key is not None and len(free) >= self.max_per_key:
+            self.dropped += 1
+            return
+        if self.poison and np.issubdtype(buf.dtype, np.floating):
+            buf.fill(np.nan)
+        free.append(buf)
+
+    # ------------------------------------------------------------------
+    @property
+    def parked(self) -> int:
+        """Buffers currently sitting on free lists."""
+        return sum(len(v) for v in self._free.values())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of acquisitions served without allocating."""
+        total = self.hits + self.misses
+        return self.hits / total if total else float("nan")
+
+    def stats(self) -> dict[str, float]:
+        """Counters snapshot for run reports / benchmarks."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "released": self.released,
+            "dropped": self.dropped,
+            "parked": self.parked,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop every parked buffer (tests / end-of-run teardown)."""
+        self._free.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferArena(poison={self.poison}, parked={self.parked}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

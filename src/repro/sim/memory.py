@@ -50,6 +50,14 @@ class MemoryAccountant:
         self.live_count = 0
         self.peak_bytes = 0
         self.peak_count = 0
+        # Arena (buffer-pool) tally: how many simulated allocations were
+        # served by recycling a parked payload vs. by a real allocation.
+        # Pool hits still count as allocations above — the Lemma 2
+        # live-instance bounds are about *simulated* instances, which the
+        # arena does not change — but the split is what the benchmarks
+        # check to prove the steady-state step is allocation-free.
+        self.pool_hits = 0
+        self.pool_misses = 0
 
     # ------------------------------------------------------------------
     def allocate(self, tag: str, nbytes: int) -> int:
@@ -81,6 +89,19 @@ class MemoryAccountant:
         self._events.append((now, -nbytes))
         self._count_events.append((now, -1))
         self._history.append(AllocationRecord(block_id, tag, nbytes, allocated_at, now))
+
+    def record_pool(self, hit: bool) -> None:
+        """Tally one arena acquisition (recycled payload vs. fresh)."""
+        if hit:
+            self.pool_hits += 1
+        else:
+            self.pool_misses += 1
+
+    @property
+    def pool_hit_rate(self) -> float:
+        """Fraction of payload acquisitions served by recycling."""
+        total = self.pool_hits + self.pool_misses
+        return self.pool_hits / total if total else float("nan")
 
     def is_live(self, block_id: int) -> bool:
         """Whether a block id is currently allocated."""

@@ -52,6 +52,7 @@ def run_algorithm(
     jitter_sigma: float = 0.08,
     dtype=np.float64,
     problem_wrapper=None,
+    arena=None,
 ) -> Execution:
     """Build and run one execution; returns all instruments."""
     problem = problem or QuadraticProblem(48, h=1.0, b=2.0, noise_sigma=0.05)
@@ -68,6 +69,7 @@ def run_algorithm(
     ctx = SGDContext(
         problem=problem, cost=cost, eta=eta, scheduler=scheduler,
         trace=trace, memory=memory, rng_factory=factory, dtype=dtype,
+        arena=arena,
     )
     algorithm = make_algorithm(name)
     algorithm.setup(ctx, problem.init_theta(factory.named("init")))

@@ -41,7 +41,8 @@ class TestResolveWorkers:
     def test_zero_and_one_mean_serial(self, value):
         assert resolve_workers(value) == 1
 
-    def test_explicit_count(self):
+    def test_explicit_count(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 8)
         assert resolve_workers(3) == 3
 
     def test_minus_one_is_cpu_count(self):
@@ -49,8 +50,20 @@ class TestResolveWorkers:
 
         assert resolve_workers(-1) == (os.cpu_count() or 1)
 
+    def test_capped_at_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="capping at 2"):
+            assert resolve_workers(8) == 2
+
+    def test_env_request_also_capped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "16")
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 4)
+        with pytest.warns(RuntimeWarning, match="capping at 4"):
+            assert resolve_workers() == 4
+
     def test_env_fallback(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "5")
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 8)
         assert resolve_workers() == 5
 
     def test_env_zero_is_serial(self, monkeypatch):
@@ -68,6 +81,7 @@ class TestResolveWorkers:
 
     def test_explicit_arg_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "7")
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 8)
         assert resolve_workers(2) == 2
 
 

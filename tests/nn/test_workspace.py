@@ -1,0 +1,151 @@
+"""StepWorkspace: the zero-allocation gradient path must be invisible.
+
+Every buffered operation reruns the allocating path's floating-point
+program with ``out=`` targets, so a workspace may change *where* bytes
+live but never *what* is computed — checked bit for bit on both paper
+architectures, together with the fallback and caching contracts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.batcher import MiniBatcher
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.nn.architectures import cnn_mnist, mlp_mnist
+from repro.nn.workspace import StepWorkspace
+
+BATCH = 8
+
+
+def _batch(net, n=BATCH, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((n,) + net.input_shape).astype(np.float32)
+    y = rng.integers(0, net.output_shape[0], size=n)
+    return x, y
+
+
+@pytest.fixture(params=["mlp", "cnn"])
+def net(request):
+    return mlp_mnist() if request.param == "mlp" else cnn_mnist()
+
+
+class TestBitwiseIdentity:
+    def test_workspace_matches_allocating_path(self, net):
+        x, y = _batch(net)
+        rng = np.random.default_rng(3)
+        theta = net.init_theta(rng, dtype=np.float32)
+        ws = net.make_workspace(BATCH)
+        grad_plain = np.empty(net.n_params, dtype=np.float32)
+        grad_ws = np.empty(net.n_params, dtype=np.float32)
+        loss_plain, _ = net.loss_and_grad(x, y, theta, grad_out=grad_plain)
+        loss_ws, _ = net.loss_and_grad(x, y, theta, grad_out=grad_ws, workspace=ws)
+        assert loss_ws == loss_plain
+        np.testing.assert_array_equal(grad_ws, grad_plain)
+
+    def test_identity_survives_buffer_reuse(self, net):
+        # The second call reads dirty workspace buffers — their contents
+        # must never leak into the result.
+        rng = np.random.default_rng(4)
+        theta = net.init_theta(rng, dtype=np.float32)
+        ws = net.make_workspace(BATCH)
+        grad_plain = np.empty(net.n_params, dtype=np.float32)
+        grad_ws = np.empty(net.n_params, dtype=np.float32)
+        for seed in range(3):
+            x, y = _batch(net, seed=seed)
+            loss_plain, _ = net.loss_and_grad(x, y, theta, grad_out=grad_plain)
+            loss_ws, _ = net.loss_and_grad(x, y, theta, grad_out=grad_ws, workspace=ws)
+            assert loss_ws == loss_plain
+            np.testing.assert_array_equal(grad_ws, grad_plain)
+            theta -= 0.05 * grad_plain
+
+
+class TestFallback:
+    def test_mismatched_batch_takes_allocating_path(self, net):
+        # The monitor's held-out evals hand arbitrary batch sizes to the
+        # same network; the workspace must step aside, not fail.
+        x, y = _batch(net, n=BATCH + 3)
+        theta = net.init_theta(np.random.default_rng(5), dtype=np.float32)
+        ws = net.make_workspace(BATCH)
+        loss_ws, grad_ws = net.loss_and_grad(x, y, theta, workspace=ws)
+        loss_plain, grad_plain = net.loss_and_grad(x, y, theta)
+        assert loss_ws == loss_plain
+        np.testing.assert_array_equal(grad_ws, grad_plain)
+
+    def test_mismatched_dtype_takes_allocating_path(self, net):
+        x, y = _batch(net)
+        theta = net.init_theta(np.random.default_rng(6), dtype=np.float64)
+        ws = net.make_workspace(BATCH)  # float32 workspace
+        loss_ws, grad_ws = net.loss_and_grad(x, y, theta, workspace=ws)
+        loss_plain, grad_plain = net.loss_and_grad(x, y, theta)
+        assert loss_ws == loss_plain
+        np.testing.assert_array_equal(grad_ws, grad_plain)
+
+    def test_matches_predicate(self, net):
+        ws = net.make_workspace(BATCH)
+        assert ws.matches(BATCH, np.float32)
+        assert not ws.matches(BATCH + 1, np.float32)
+        assert not ws.matches(BATCH, np.float64)
+
+
+class TestConstruction:
+    def test_buffers_are_preallocated_and_counted(self, net):
+        ws = net.make_workspace(BATCH)
+        assert len(ws.per_layer) == len(net.layers)
+        assert ws.nbytes > 0
+        assert ws.nbytes == sum(
+            buf.nbytes for d in ws.per_layer if d is not None for buf in d.values()
+        )
+
+    def test_rejects_nonpositive_batch(self, net):
+        with pytest.raises(ValueError):
+            StepWorkspace(net, 0)
+
+
+class TestViewCache:
+    def test_views_memoized_per_buffer(self, net):
+        ws = net.make_workspace(BATCH)
+        theta = net.init_theta(np.random.default_rng(7), dtype=np.float32)
+        first = ws.cached_views(theta, net._all_param_views)
+        assert ws.cached_views(theta, net._all_param_views) is first
+        assert first[0][0].base is theta
+
+    def test_distinct_buffers_get_distinct_views(self, net):
+        ws = net.make_workspace(BATCH)
+        a = np.zeros(net.n_params, dtype=np.float32)
+        b = np.zeros(net.n_params, dtype=np.float32)
+        assert ws.cached_views(a, net._all_param_views) is not ws.cached_views(
+            b, net._all_param_views
+        )
+
+    def test_cache_cap_clears_then_rebuilds(self):
+        net = mlp_mnist()
+        ws = net.make_workspace(BATCH)
+        keep = np.zeros(net.n_params, dtype=np.float32)
+        kept_views = ws.cached_views(keep, net._all_param_views)
+        filler = [np.zeros(net.n_params, dtype=np.float32)
+                  for _ in range(ws.VIEW_CACHE_CAP)]
+        for arr in filler:
+            ws.cached_views(arr, net._all_param_views)
+        rebuilt = ws.cached_views(keep, net._all_param_views)
+        assert rebuilt is not kept_views  # cap tripped, entry was rebuilt
+        assert rebuilt[0][0].base is keep  # ...against the right buffer
+
+
+class TestBufferedBatchDraw:
+    def test_next_batch_into_matches_next_batch(self):
+        corpus = generate_synthetic_mnist(n_train=256, n_eval=16, seed=9)
+        x, y = corpus.train.as_flat(), corpus.train.labels
+        a = MiniBatcher(x, y, BATCH, np.random.default_rng(1))
+        b = MiniBatcher(x, y, BATCH, np.random.default_rng(1))
+        x_buf = np.empty((BATCH,) + x.shape[1:], dtype=x.dtype)
+        y_buf = np.empty(BATCH, dtype=y.dtype)
+        # Past _INDEX_BLOCK_BATCHES draws: the block refill must keep
+        # producing the per-call sequence across its boundary.
+        for _ in range(MiniBatcher._INDEX_BLOCK_BATCHES + 6):
+            xa, ya = a.next_batch()
+            xb, yb = b.next_batch_into(x_buf, y_buf)
+            assert xb is x_buf and yb is y_buf
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)

@@ -105,7 +105,7 @@ class TestSerialParallelEquivalence:
         runs = run_repeated(problem, cost, config, repeats=2)
         assert [r.config.seed for r in runs] == [7, 1007]
 
-    def test_unpicklable_problem_falls_back_to_serial(self, cost):
+    def test_unpicklable_problem_falls_back_to_serial(self, cost, monkeypatch):
         class ClosureProblem(QuadraticProblem):
             """A user problem a process pool cannot ship."""
 
@@ -113,6 +113,9 @@ class TestSerialParallelEquivalence:
                 super().__init__(16, h=1.0, b=1.0, noise_sigma=0.0)
                 self.hook = lambda theta: theta  # unpicklable
 
+        # Pretend we have the cores so the pool path (and its pickle
+        # pre-flight) is actually attempted on single-core CI hosts.
+        monkeypatch.setattr("repro.harness.parallel.os.cpu_count", lambda: 2)
         config = make_config("SEQ", m=1)
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             runs = run_repeated(ClosureProblem(), cost, config, repeats=2, workers=2)
