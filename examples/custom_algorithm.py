@@ -28,7 +28,6 @@ from repro.core.hogwild import chunk_slices
 from repro.core.parameter_vector import ParameterVector
 from repro.sim.sync import SimLock
 from repro.sim.thread import SimThread
-from repro.sim.trace import UpdateRecord
 from repro.utils.tables import render_table
 
 
@@ -63,30 +62,36 @@ class ShardedAsyncSGD(Algorithm):
         handle.local_pvs.append(local)
         grad = handle.grad_pv.theta
         k = len(self.slices)
+        # Telemetry goes through the probe bus: emitting the protocol
+        # events (read_pinned / grad_done / lock_wait / publish) both
+        # feeds the built-in TraceRecorder and makes any pluggable probe
+        # (phase times, staleness decomposition, ...) work unchanged.
+        probes = ctx.probes
         while True:
             view_seq = ctx.global_seq.load()
             # shard-wise consistent read
             for sl, lock in zip(self.slices, self.locks):
+                requested = ctx.scheduler.now
                 yield lock.acquire()
+                probes.lock_wait(requested, ctx.scheduler.now, thread.tid)
                 np.copyto(local.theta[sl], param.theta[sl])
                 yield ctx.cost.t_copy / k
                 lock.release(thread)
+            probes.read_pinned(ctx.scheduler.now, thread.tid, view_seq)
             handle.grad_fn(local.theta, grad)
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
             # shard-wise consistent update
             with np.errstate(over="ignore", invalid="ignore"):
                 for sl, lock in zip(self.slices, self.locks):
+                    requested = ctx.scheduler.now
                     yield lock.acquire()
+                    probes.lock_wait(requested, ctx.scheduler.now, thread.tid)
                     param.theta[sl] -= ctx.eta * grad[sl]
                     yield ctx.cost.tu / k
                     lock.release(thread)
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.record_update(
-                UpdateRecord(
-                    time=ctx.scheduler.now, thread=thread.tid,
-                    seq=seq, staleness=seq - view_seq,
-                )
-            )
+            probes.publish(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

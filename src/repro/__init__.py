@@ -16,6 +16,9 @@ Public API overview
   exact MLP / CNN architectures (Tables II-III).
 * :mod:`repro.data` — synthetic MNIST stand-in + real IDX loaders.
 * :mod:`repro.analysis` — Section IV's contention/staleness/memory models.
+* :mod:`repro.telemetry` — the probe bus every algorithm emits protocol
+  events on, the pluggable Section-IV validation probes, and the
+  schema-versioned metrics / JSONL results pipeline.
 * :mod:`repro.harness` — profiles, runner, and the S1-S5 experiments.
 
 Quickstart
@@ -60,6 +63,15 @@ from repro.harness import (
 )
 from repro.nn import cnn_mnist, mlp_mnist
 from repro.sim import CostModel, calibrate_cost_model
+from repro.telemetry import (
+    STANDARD_PROBES,
+    Probe,
+    ProbeBus,
+    RunMetrics,
+    read_jsonl,
+    register_probe,
+    write_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -76,11 +88,15 @@ __all__ = [
     "Problem",
     "PROFILE_PAPER",
     "PROFILE_QUICK",
+    "Probe",
+    "ProbeBus",
     "Profile",
     "QuadraticProblem",
     "RunConfig",
+    "RunMetrics",
     "RunResult",
     "RunStatus",
+    "STANDARD_PROBES",
     "SequentialSGD",
     "SGDContext",
     "Workloads",
@@ -89,7 +105,10 @@ __all__ = [
     "get_profile",
     "make_algorithm",
     "mlp_mnist",
+    "read_jsonl",
+    "register_probe",
     "run_once",
     "run_repeated",
+    "write_jsonl",
     "__version__",
 ]

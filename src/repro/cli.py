@@ -13,12 +13,19 @@ Commands
 ``calibrate``
     Measure real NumPy kernel times for the MLP/CNN workloads and print
     the resulting cost models (Fig. 9's data).
+``analyze``
+    Run with the telemetry probes attached and print the Section-IV
+    validation measurements (occupancy vs n*/n*_gamma, the eq.-6
+    staleness split, phase breakdown, CAS contention); optionally
+    export/import JSONL and gate on Cor. 3.2 with ``--smoke``.
 
 Examples
 --------
     python -m repro run --algorithm LSH_ps1 --m 16 --workload mlp
     python -m repro experiment s2 --profile quick
     python -m repro calibrate
+    python -m repro analyze --algorithm LSH_ps1 --m 8 --jsonl runs.jsonl
+    python -m repro analyze --smoke --tolerance 0.5
 """
 
 from __future__ import annotations
@@ -82,6 +89,32 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="process-parallel runs (-1: all cores; default: "
                               "REPRO_WORKERS or serial)")
     sweep_p.add_argument("--json", default=None, metavar="PATH")
+
+    ana_p = sub.add_parser(
+        "analyze",
+        help="run with telemetry probes and validate Section IV predictions",
+    )
+    ana_p.add_argument("--algorithm", default="LSH_ps1",
+                       help="SEQ | ASYNC | HOG | SYNC | LSH_ps<k> | LSH_psinf")
+    ana_p.add_argument("--m", type=int, default=8, help="worker threads")
+    ana_p.add_argument("--eta", type=float, default=None, help="step size")
+    ana_p.add_argument("--workload", default="quadratic",
+                       choices=("quadratic", "mlp", "cnn"))
+    ana_p.add_argument("--seed", type=int, default=0)
+    ana_p.add_argument("--profile", default=None, choices=(None, "quick", "paper"))
+    ana_p.add_argument("--probes", default=None, metavar="NAMES",
+                       help="comma-separated probe names (default: all registered)")
+    ana_p.add_argument("--jsonl", default=None, metavar="PATH",
+                       help="append the run to a JSONL results file")
+    ana_p.add_argument("--from-jsonl", dest="from_jsonl", default=None, metavar="PATH",
+                       help="analyze archived runs instead of running")
+    ana_p.add_argument("--svg", default=None, metavar="PATH",
+                       help="render measured occupancy vs n*/n*_gamma as SVG")
+    ana_p.add_argument("--smoke", action="store_true",
+                       help="exit nonzero unless measured steady-state occupancy "
+                            "is within --tolerance of n*_gamma (Cor. 3.2)")
+    ana_p.add_argument("--tolerance", type=float, default=0.5, metavar="FRAC",
+                       help="allowed relative deviation for --smoke (default 0.5)")
 
     report_p = sub.add_parser(
         "report", help="build the paper-vs-measured markdown from benchmarks/rendered/"
@@ -209,6 +242,160 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _print_analysis(row: dict) -> None:
+    """Render one flat run row's probe measurements as tables."""
+    config = row.get("config", {})
+    label = (f"{config.get('algorithm', '?')} m={config.get('m', '?')} "
+             f"eta={config.get('eta', '?')} seed={config.get('seed', '?')}")
+    rows = [
+        ["status", row.get("status", "?")],
+        ["updates published", row.get("n_updates", "?")],
+        ["gradients dropped", row.get("n_dropped", "?")],
+        ["virtual time [s]", _fmt(row.get("virtual_time", float("nan")))],
+        ["CAS failure rate", _fmt(row.get("cas_failure_rate", float("nan")))],
+        ["mean lock wait [s]", _fmt(row.get("mean_lock_wait", float("nan")))],
+    ]
+    print(render_table(["metric", "value"], rows, title=label))
+    probes = row.get("probes", {}) or {}
+    occ = probes.get("occupancy")
+    if occ:
+        print(render_table(
+            ["occupancy (Sec IV)", "value"],
+            [
+                ["measured steady-state", _fmt(occ["steady_state_mean"])],
+                ["n* (Cor 3.1)", _fmt(occ["n_star"])],
+                ["n*_gamma (Cor 3.2 / eq 7)", _fmt(occ["n_star_gamma"])],
+                ["measured / n*_gamma", _fmt(occ["ratio_to_prediction"])],
+                ["loop enter/exit events", occ["n_events"]],
+            ],
+        ))
+    stale = probes.get("staleness")
+    if stale:
+        print(render_table(
+            ["staleness decomposition (eq 6)", "value"],
+            [
+                ["mean tau_c (compute)", _fmt(stale["mean_tau_c"])],
+                ["mean tau_s (scheduling)", _fmt(stale["mean_tau_s"])],
+                ["mean tau (total)", _fmt(stale["mean_tau"])],
+                ["E[tau_c] prediction", _fmt(stale["expected_tau_c"])],
+                ["E[tau_s] prediction", _fmt(stale["expected_tau_s"])],
+                ["p90 tau_c / tau_s",
+                 f"{_fmt(stale['p90_tau_c'])} / {_fmt(stale['p90_tau_s'])}"],
+            ],
+        ))
+    phases = probes.get("phase_time")
+    if phases:
+        print(render_table(
+            ["phase", "virtual s", "fraction"],
+            [
+                [name, _fmt(phases["seconds"][name]), _fmt(phases["fractions"][name])]
+                for name in phases["seconds"]
+            ],
+            title="per-phase virtual-time breakdown",
+        ))
+    cas = probes.get("cas_timeline")
+    if cas:
+        print(render_table(
+            ["CAS contention", "value"],
+            [
+                ["attempts", cas["n_attempts"]],
+                ["failures", cas["n_failures"]],
+                ["failure rate", _fmt(cas["failure_rate"])],
+            ],
+        ))
+
+
+def _occupancy_smoke(rows: list[dict], tolerance: float) -> int:
+    """Corollary 3.2 gate: measured steady-state occupancy must sit
+    within ``tolerance`` (relative) of n*_gamma for every Leashed run
+    that carries an occupancy probe result."""
+    checked = 0
+    for row in rows:
+        occ = (row.get("probes") or {}).get("occupancy")
+        if not occ:
+            continue
+        ratio = occ.get("ratio_to_prediction", float("nan"))
+        if not np.isfinite(ratio):
+            continue
+        checked += 1
+        deviation = abs(ratio - 1.0)
+        verdict = "OK" if deviation <= tolerance else "FAIL"
+        print(f"smoke: measured/n*_gamma = {ratio:.3f} "
+              f"(|dev| {deviation:.3f} vs tolerance {tolerance:g}) ... {verdict}")
+        if deviation > tolerance:
+            return 1
+    if not checked:
+        print("smoke: FAIL — no finite occupancy-vs-prediction ratio to check "
+              "(need a Leashed run with the 'occupancy' probe)")
+        return 1
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.telemetry import STANDARD_PROBES, read_jsonl, write_jsonl
+    from repro.utils.serialization import _decode, result_to_dict
+
+    if args.from_jsonl:
+        rows = read_jsonl(args.from_jsonl)
+    else:
+        workloads = Workloads(get_profile(args.profile))
+        problem = workloads.problem(args.workload)
+        cost = workloads.cost(args.workload)
+        profile = workloads.profile
+        epsilons = (
+            profile.mlp_epsilons if args.workload == "mlp"
+            else profile.cnn_epsilons if args.workload == "cnn"
+            else (0.5, 0.1)
+        )
+        eta = args.eta if args.eta is not None else (
+            profile.default_eta if args.workload in ("mlp", "cnn") else 0.05
+        )
+        probes = (
+            tuple(p.strip() for p in args.probes.split(",") if p.strip())
+            if args.probes is not None
+            else STANDARD_PROBES
+        )
+        config = RunConfig(
+            algorithm=args.algorithm,
+            m=args.m,
+            eta=eta,
+            seed=args.seed,
+            epsilons=epsilons,
+            target_epsilon=min(epsilons),
+            max_updates=profile.max_updates,
+            max_virtual_time=profile.max_virtual_time,
+            max_wall_seconds=profile.max_wall_seconds,
+            probes=probes,
+        )
+        result = run_once(problem, cost, config)
+        if args.jsonl:
+            path = write_jsonl([result], args.jsonl, append=True)
+            print(f"appended run to {path}")
+        rows = [_decode(result_to_dict(result))]
+    for row in rows:
+        _print_analysis(row)
+    if args.svg:
+        from repro.viz.figures import fig_occupancy_validation
+
+        for row in rows:
+            occ = (row.get("probes") or {}).get("occupancy")
+            if occ and len(occ.get("times", ())) >= 2:
+                fig_occupancy_validation(occ).save(args.svg)
+                print(f"wrote {args.svg}")
+                break
+        else:
+            print("no occupancy series to plot; skipping --svg")
+    if args.smoke:
+        return _occupancy_smoke(rows, args.tolerance)
+    return 0
+
+
 def _cmd_calibrate() -> int:
     from repro.sim.cost import calibrate_cost_model
 
@@ -246,6 +433,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_table1()
     if args.command == "calibrate":
         return _cmd_calibrate()
+    if args.command == "analyze":
+        return _cmd_analyze(args)
     if args.command == "figures":
         from repro.viz.figures import render_all_figures
 

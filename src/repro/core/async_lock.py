@@ -51,26 +51,29 @@ class AsyncLockSGD(Algorithm):
         handle.local_pvs.append(local_param)
         grad = handle.grad_pv.theta
         scratch = handle.step_scratch
+        probes = ctx.probes
         while True:
             # --- read phase: local_param.theta = copy(PARAM.theta) under mtx
             requested = ctx.scheduler.now
             yield lock.acquire()
-            ctx.trace.add_lock_wait(requested, ctx.scheduler.now, thread.tid)
+            probes.lock_wait(requested, ctx.scheduler.now, thread.tid)
             np.copyto(local_param.theta, param.theta)
             view_seq = ctx.global_seq.load()
             yield ctx.cost.t_copy  # copy happens inside the critical section
             lock.release(thread)
+            probes.read_pinned(ctx.scheduler.now, thread.tid, view_seq)
 
             # --- compute phase (no lock held)
             handle.grad_fn(local_param.theta, grad)
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
 
             # --- update phase: PARAM.update(...) under mtx
             requested = ctx.scheduler.now
             yield lock.acquire()
-            ctx.trace.add_lock_wait(requested, ctx.scheduler.now, thread.tid)
+            probes.lock_wait(requested, ctx.scheduler.now, thread.tid)
             if ctx.measure_view_divergence:
-                ctx.trace.add_view_divergence(
+                probes.view_divergence(
                     ctx.scheduler.now, thread.tid,
                     float(np.linalg.norm(local_param.theta - param.theta)),
                 )
@@ -78,7 +81,7 @@ class AsyncLockSGD(Algorithm):
             yield ctx.cost.tu  # bulk write inside the critical section
             seq = ctx.global_seq.fetch_add(1)
             lock.release(thread)
-            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
+            probes.publish(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

@@ -26,6 +26,7 @@ from repro.sim.scheduler import Scheduler
 from repro.sim.sync import AtomicCounter
 from repro.sim.thread import SimThread
 from repro.sim.trace import TraceRecorder
+from repro.telemetry.bus import ProbeBus
 from repro.utils.rng import RngFactory
 
 
@@ -66,10 +67,19 @@ class SGDContext:
     #: the parameters the update is applied to (zero virtual cost — it
     #: is measurement, not algorithm).
     measure_view_divergence: bool = False
+    #: The run's telemetry bus (see :mod:`repro.telemetry.bus`): every
+    #: protocol event the workers emit flows through here. ``trace`` and
+    #: ``memory`` are auto-attached as the two built-in subscribers;
+    #: pluggable probes attach before the run starts. Emission is
+    #: zero-virtual-cost, so any subscriber set yields bitwise-identical
+    #: runs.
+    probes: ProbeBus = field(default_factory=ProbeBus)
 
     def __post_init__(self) -> None:
         if not (self.eta > 0):
             raise ConfigurationError(f"step size eta must be > 0, got {self.eta!r}")
+        self.probes.attach(self.trace)
+        self.probes.attach(self.memory)
 
 
 @dataclass

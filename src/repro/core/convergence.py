@@ -31,10 +31,19 @@ from repro.errors import ConfigurationError
 
 
 class RunStatus(enum.Enum):
-    """Terminal classification of one execution (paper Sec. V.2)."""
+    """Terminal classification of one execution (paper Sec. V.2).
+
+    DIVERGED is the paper's 'Diverge': the *virtual-time* budget ran out
+    before the target threshold — a statement about the algorithm's
+    convergence behaviour. STOPPED is a statement about the *harness*:
+    the iteration cap (``max_updates``) or the host-time safety cap
+    (``max_wall_seconds``) cut the run short, so the algorithm was
+    neither observed to converge nor to exhaust its virtual budget.
+    """
 
     CONVERGED = "converged"
-    DIVERGED = "diverged"  # budget exhausted before reaching the target
+    DIVERGED = "diverged"  # virtual-time budget exhausted before the target
+    STOPPED = "stopped"  # harness cap (max_updates / max_wall_seconds) hit
     CRASHED = "crashed"  # numerical instability (non-finite loss/params)
     RUNNING = "running"
 
@@ -82,10 +91,11 @@ class ConvergenceMonitor:
         smallest entry of ``epsilons``).
     eval_interval:
         Virtual seconds between monitor wake-ups.
-    max_virtual_time, max_updates:
-        Budget caps -> Diverge.
-    max_wall_seconds:
-        Real-time safety cap for the host (also -> Diverge).
+    max_virtual_time:
+        Virtual-time budget -> Diverge (the paper's outcome class).
+    max_updates, max_wall_seconds:
+        Iteration cap and host real-time safety cap -> Stopped (the
+        harness cut the run short; not a convergence verdict).
     stop_fn:
         Callback stopping the scheduler.
     """
@@ -165,11 +175,14 @@ class ConvergenceMonitor:
                 report.status = RunStatus.CONVERGED
                 self._stop_fn()
                 return
+            if now >= self.max_virtual_time:
+                report.status = RunStatus.DIVERGED
+                self._stop_fn()
+                return
             if (
-                now >= self.max_virtual_time
-                or n_upd >= self.max_updates
+                n_upd >= self.max_updates
                 or time.perf_counter() - wall_start >= self.max_wall_seconds
             ):
-                report.status = RunStatus.DIVERGED
+                report.status = RunStatus.STOPPED
                 self._stop_fn()
                 return

@@ -70,6 +70,7 @@ class HogwildSGD(Algorithm):
         update_chunk_cost = ctx.cost.tu / len(slices)
         eta = ctx.eta
         accessors = self._accessors
+        probes = ctx.probes
         while True:
             # --- unsynchronized chunk-wise read: the view may be torn,
             # and concurrent accessors inflate each chunk's cost
@@ -80,15 +81,17 @@ class HogwildSGD(Algorithm):
                 np.copyto(local_param.theta[sl], param.theta[sl])
                 yield ctx.cost.contended(copy_chunk_cost, accessors.load() - 1)
             accessors.fetch_add(-1)
+            probes.read_pinned(ctx.scheduler.now, thread.tid, view_seq)
 
             # --- compute phase
             handle.grad_fn(local_param.theta, grad)
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
 
             # --- unsynchronized chunk-wise in-place update.
             shared = param.theta
             if ctx.measure_view_divergence:
-                ctx.trace.add_view_divergence(
+                probes.view_divergence(
                     ctx.scheduler.now, thread.tid,
                     float(np.linalg.norm(local_param.theta - shared)),
                 )
@@ -106,7 +109,7 @@ class HogwildSGD(Algorithm):
             accessors.fetch_add(-1)
             param.t += 1  # measurement-only sequence bump (no sync in HOGWILD!)
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
+            probes.publish(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

@@ -124,6 +124,7 @@ class HogwildPlusPlus(Algorithm):
         copy_chunk = ctx.cost.t_copy / len(slices)
         update_chunk = ctx.cost.tu / len(slices)
         eta = ctx.eta
+        probes = ctx.probes
         while True:
             view_seq = ctx.global_seq.load()
             accessors.fetch_add(1)
@@ -131,9 +132,11 @@ class HogwildPlusPlus(Algorithm):
                 np.copyto(local_param.theta[sl], replica.theta[sl])
                 yield ctx.cost.contended(copy_chunk, accessors.load() - 1)
             accessors.fetch_add(-1)
+            probes.read_pinned(ctx.scheduler.now, thread.tid, view_seq)
 
             handle.grad_fn(local_param.theta, grad)
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
 
             shared = replica.theta
             accessors.fetch_add(1)
@@ -148,7 +151,7 @@ class HogwildPlusPlus(Algorithm):
             accessors.fetch_add(-1)
             replica.t += 1
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
+            probes.publish(ctx.scheduler.now, thread.tid, seq, seq - view_seq)
 
     # ------------------------------------------------------------------
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:

@@ -91,14 +91,17 @@ class LeashedSGD(Algorithm):
             if ctx.measure_view_divergence
             else None
         )
+        probes = ctx.probes
         while True:
             # --- read phase: pin latest, compute gradient on it in place.
             latest = yield from self._latest_pointer(ctx)
             view_t = latest.t
+            probes.read_pinned(ctx.scheduler.now, thread.tid, view_t)
             handle.grad_fn(latest.theta, grad)
             if view_copy is not None:
                 np.copyto(view_copy, latest.theta)  # measurement only
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, pointer.load().t)
             latest.stop_reading()
             yield ctx.cost.t_atomic
 
@@ -116,6 +119,7 @@ class LeashedSGD(Algorithm):
             # --- LAU-SPC loop.
             num_tries = 0
             enter_time = ctx.scheduler.now
+            probes.lau_enter(enter_time, thread.tid)
             while True:
                 target = yield from self._latest_pointer(ctx)
                 eta_eff = self.effective_eta(eta, target.t - view_t)
@@ -141,7 +145,7 @@ class LeashedSGD(Algorithm):
                     target.stop_reading()
                     yield ctx.cost.t_atomic
                     if view_copy is not None:
-                        ctx.trace.add_view_divergence(
+                        probes.view_divergence(
                             ctx.scheduler.now, thread.tid,
                             float(np.linalg.norm(view_copy - new_pv.theta)),
                         )
@@ -149,16 +153,15 @@ class LeashedSGD(Algorithm):
                 yield ctx.cost.tu
                 succ = pointer.compare_and_swap(target, new_pv)
                 yield ctx.cost.t_atomic
+                probes.cas_attempt(ctx.scheduler.now, thread.tid, succ, num_tries)
                 if succ:
                     target.stale_flag = True
+                    probes.reclaim(ctx.scheduler.now, thread.tid, target.t)
                     target.safe_delete()
                     ctx.global_seq.fetch_add(1)
-                    ctx.trace.add_update(
+                    probes.publish(
                         ctx.scheduler.now, thread.tid, new_pv.t,
-                        new_pv.t - 1 - view_t, num_tries,
-                    )
-                    ctx.trace.add_retry_loop(
-                        enter_time, ctx.scheduler.now, thread.tid, num_tries + 1, True
+                        new_pv.t - 1 - view_t, num_tries, enter_time,
                     )
                     break
                 num_tries += 1
@@ -166,10 +169,7 @@ class LeashedSGD(Algorithm):
                     # Persistence bound exceeded: drop this gradient and
                     # return to computing a fresh one (contention relief).
                     new_pv.force_delete()
-                    ctx.trace.add_dropped(ctx.scheduler.now, thread.tid, num_tries)
-                    ctx.trace.add_retry_loop(
-                        enter_time, ctx.scheduler.now, thread.tid, num_tries, False
-                    )
+                    probes.drop(ctx.scheduler.now, thread.tid, num_tries, enter_time)
                     break
 
     # ------------------------------------------------------------------

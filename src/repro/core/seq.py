@@ -39,13 +39,16 @@ class SequentialSGD(Algorithm):
         param = self.param
         grad = handle.grad_pv.theta
         scratch = handle.step_scratch
+        probes = ctx.probes
         while True:
+            probes.read_pinned(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
             handle.grad_fn(param.theta, grad)
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
             param.update(grad, ctx.eta, scratch=scratch)
             yield ctx.cost.tu
             seq = ctx.global_seq.fetch_add(1)
-            ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, 0)
+            probes.publish(ctx.scheduler.now, thread.tid, seq, 0)
 
     def snapshot_theta(self, ctx: SGDContext) -> np.ndarray:
         return self.param.theta

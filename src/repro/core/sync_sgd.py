@@ -56,9 +56,12 @@ class SyncSGD(Algorithm):
         grad = handle.grad_pv.theta
         grad_sum = self._grad_sum
         m = self._m
+        probes = ctx.probes
         while True:
+            probes.read_pinned(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
             handle.grad_fn(param.theta, grad)
             yield ctx.cost.tc
+            probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
             # Contribute to the shared accumulator (atomic between yields).
             grad_sum += grad
             yield ctx.cost.tu / m  # each worker adds its share of traffic
@@ -74,7 +77,7 @@ class SyncSGD(Algorithm):
                 grad_sum[...] = 0.0
                 yield ctx.cost.tu
                 seq = ctx.global_seq.fetch_add(1)
-                ctx.trace.add_update(ctx.scheduler.now, thread.tid, seq, 0)
+                probes.publish(ctx.scheduler.now, thread.tid, seq, 0)
             # Second barrier: nobody starts the next round until the
             # aggregated step has been applied.
             yield barrier.arrive()

@@ -82,6 +82,13 @@ class RunConfig:
     #: through a stale array alias fails loudly (see docs/simulator.md,
     #: "Allocation model"). Costs one d-vector fill per reclamation.
     arena_poison: bool = False
+    #: Names of pluggable telemetry probes to attach to the run's bus
+    #: (see :data:`repro.telemetry.probes.PROBES`, e.g. ``"occupancy"``,
+    #: ``"staleness"``). Kept as names — not instances — so configs stay
+    #: hashable and pickle across the process-parallel harness; resolved
+    #: by ``run_once``. Probes observe without perturbing: results are
+    #: bitwise-identical for any probe set.
+    probes: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         check_positive("m", self.m)

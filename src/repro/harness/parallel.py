@@ -24,6 +24,12 @@ Worker-count resolution (:func:`resolve_workers`):
 fallback, when there is only one task, when the task payload cannot be
 pickled (e.g. a user-defined problem holding a lambda), or when the
 host cannot spawn processes at all.
+
+Telemetry crosses the process boundary intact: ``RunConfig.probes``
+carries probe *names* (resolved inside each worker's ``run_once``), and
+the returned :class:`~repro.telemetry.metrics.RunMetrics` is a plain
+picklable mapping — so a parallel sweep's JSONL export is byte-for-byte
+the serial one's.
 """
 
 from __future__ import annotations

@@ -48,6 +48,16 @@ PAPER_EXPECTATIONS: dict[str, str] = {
         "Leashed-SGD allocates dynamically, stays within Lemma 2's 3m "
         "bound, and saves ~17% memory on the CNN on average."
     ),
+    "SecIV/eq7": (
+        "Paper (Section IV, Cor. 3.1/3.2): the LAU-SPC retry-loop "
+        "occupancy stabilizes around the fixed point n* = m/(Tc/Tu + 1), "
+        "shifted down to n*_gamma = m/((Tc/Tu)(1+gamma) + 1) by the "
+        "persistence bound's departure-rate boost gamma = 1/(Tp+1); the "
+        "telemetry occupancy probe (`repro analyze`) measures steady-state "
+        "occupancy in the right regime at low contention, with the "
+        "expected drift above the prediction as CAS retries lengthen "
+        "loop stays."
+    ),
 }
 
 

@@ -91,11 +91,21 @@ def staleness_boxes(
 
 
 def failure_counts(results: Iterable[RunResult]) -> dict[str, tuple[int, int]]:
-    """(diverged, crashed) per algorithm label."""
+    """(did-not-converge, crashed) per algorithm label.
+
+    The first slot pools DIVERGED (virtual-time budget, the paper's
+    Diverge class) with STOPPED (harness iteration / wall-time caps):
+    for the paper's box-plot bookkeeping both are "did not reach the
+    target, did not crash".
+    """
     groups = group_by(results, lambda r: r.config.algorithm)
     return {
         str(label): (
-            sum(1 for r in runs if r.status is RunStatus.DIVERGED),
+            sum(
+                1
+                for r in runs
+                if r.status in (RunStatus.DIVERGED, RunStatus.STOPPED)
+            ),
             sum(1 for r in runs if r.status is RunStatus.CRASHED),
         )
         for label, runs in groups.items()

@@ -1,15 +1,23 @@
 """Execute configured runs and collect structured results.
 
-:func:`run_once` wires one full simulated execution: scheduler, trace,
-memory accountant, algorithm shared state, m workers and the
-convergence-monitor thread; :func:`run_repeated` executes the same
-configuration under independent seeds (the paper uses 11) and returns
-all results.
+:func:`run_once` wires one full simulated execution: scheduler, probe
+bus (with the trace / memory built-ins plus any configured probes),
+algorithm shared state, m workers and the convergence-monitor thread;
+:func:`run_repeated` executes the same configuration under independent
+seeds (the paper uses 11) and returns all results.
+
+Measurement flows through :mod:`repro.telemetry`: the algorithms emit
+protocol events on the run's :class:`~repro.telemetry.bus.ProbeBus`,
+and after the run :func:`~repro.telemetry.metrics.collect_run_metrics`
+assembles one schema-versioned :class:`RunMetrics` mapping from the
+subscribers. :class:`RunResult` is a thin, picklable view over that
+mapping — the legacy flat attributes (``n_updates``,
+``cas_failure_rate``, ...) are properties delegating into it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -22,34 +30,99 @@ from repro.sim.cost import CostModel
 from repro.sim.memory import MemoryAccountant
 from repro.sim.scheduler import Scheduler, SchedulerConfig
 from repro.sim.trace import TraceRecorder
+from repro.telemetry.bus import ProbeBus
+from repro.telemetry.metrics import RunMetrics, collect_run_metrics
+from repro.telemetry.probes import make_probe, run_info_for
 from repro.utils.rng import RngFactory
 from repro.utils.timing import WallTimer
 
 
 @dataclass
 class RunResult:
-    """Everything measured in one execution."""
+    """One execution: its config, outcome, curve, and measurements.
+
+    All numbers live in ``metrics`` (see
+    :mod:`repro.telemetry.metrics` for the schema); the attribute-style
+    accessors below keep every existing call site and report working.
+    """
 
     config: RunConfig
     status: RunStatus
     report: ConvergenceReport
-    virtual_time: float
-    wall_seconds: float
-    n_updates: int
-    n_dropped: int
-    cas_failure_rate: float
-    mean_lock_wait: float
-    staleness: dict[str, float]
-    staleness_values: np.ndarray
-    updates_per_thread: np.ndarray
-    peak_pv_count: int
-    peak_pv_bytes: int
-    mean_pv_bytes: float
-    pool_hits: int
-    pool_misses: int
-    memory_timeline: tuple[np.ndarray, np.ndarray, np.ndarray]
-    retry_occupancy: tuple[np.ndarray, np.ndarray]
-    final_accuracy: float = float("nan")
+    metrics: RunMetrics
+
+    # -- flat accessors over the metrics mapping -------------------------
+    @property
+    def virtual_time(self) -> float:
+        return self.metrics["virtual_time"]
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.metrics["wall_seconds"]
+
+    @property
+    def n_updates(self) -> int:
+        return self.metrics["n_updates"]
+
+    @property
+    def n_dropped(self) -> int:
+        return self.metrics["n_dropped"]
+
+    @property
+    def cas_failure_rate(self) -> float:
+        return self.metrics["cas_failure_rate"]
+
+    @property
+    def mean_lock_wait(self) -> float:
+        return self.metrics["mean_lock_wait"]
+
+    @property
+    def staleness(self) -> dict[str, float]:
+        return self.metrics["staleness"]
+
+    @property
+    def staleness_values(self) -> np.ndarray:
+        return self.metrics["staleness_values"]
+
+    @property
+    def updates_per_thread(self) -> np.ndarray:
+        return self.metrics["updates_per_thread"]
+
+    @property
+    def peak_pv_count(self) -> int:
+        return self.metrics["peak_pv_count"]
+
+    @property
+    def peak_pv_bytes(self) -> int:
+        return self.metrics["peak_pv_bytes"]
+
+    @property
+    def mean_pv_bytes(self) -> float:
+        return self.metrics["mean_pv_bytes"]
+
+    @property
+    def pool_hits(self) -> int:
+        return self.metrics["pool_hits"]
+
+    @property
+    def pool_misses(self) -> int:
+        return self.metrics["pool_misses"]
+
+    @property
+    def reclaim_events(self) -> int:
+        return self.metrics["reclaim_events"]
+
+    @property
+    def memory_timeline(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self.metrics["memory_timeline"]
+
+    @property
+    def retry_occupancy(self) -> tuple[np.ndarray, np.ndarray]:
+        return self.metrics["retry_occupancy"]
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.metrics["final_accuracy"]
 
     # -- derived metrics -------------------------------------------------
     def time_to(self, eps: float) -> float:
@@ -86,7 +159,13 @@ def default_eval_interval(cost: CostModel, m: int) -> float:
 
 
 def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
-    """Execute one configured run; deterministic given ``config.seed``."""
+    """Execute one configured run; deterministic given ``config.seed``.
+
+    ``config.probes`` names pluggable probes (see
+    :data:`repro.telemetry.probes.PROBES`) attached to the run's bus;
+    probes observe without perturbing, so results are bitwise-identical
+    for any probe set.
+    """
     factory = RngFactory(config.seed)
     scheduler = Scheduler(
         factory.named("scheduler"),
@@ -98,6 +177,7 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
     trace = TraceRecorder()
     memory = MemoryAccountant(lambda: scheduler.now)
     arena = BufferArena(poison=config.arena_poison) if config.use_arena else None
+    bus = ProbeBus()
     ctx = SGDContext(
         problem=problem,
         cost=cost,
@@ -108,7 +188,13 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
         rng_factory=factory,
         dtype=config.dtype,
         arena=arena,
+        probes=bus,
     )
+    info = run_info_for(config, cost)
+    probes = tuple(make_probe(name) for name in config.probes)
+    for probe in probes:
+        probe.bind(info)
+        bus.attach(probe)
     algorithm = make_algorithm(config.algorithm)
     theta0 = problem.init_theta(factory.named("init"))
     algorithm.setup(ctx, theta0)
@@ -135,32 +221,23 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
     scheduler.close()
 
     report = monitor.report
-    status = report.status if report.status is not RunStatus.RUNNING else RunStatus.DIVERGED
+    # A report still RUNNING means the scheduler stopped before the
+    # monitor classified the run (e.g. the event queue drained): the
+    # harness halted it, not the algorithm's convergence behaviour.
+    status = report.status if report.status is not RunStatus.RUNNING else RunStatus.STOPPED
     theta_final = algorithm.snapshot_theta(ctx)
     accuracy = problem.eval_accuracy(theta_final)
 
-    return RunResult(
-        config=config,
-        status=status,
-        report=report,
+    metrics = collect_run_metrics(
+        trace,
+        memory,
+        m=config.m,
         virtual_time=scheduler.now,
         wall_seconds=timer.elapsed,
-        n_updates=trace.n_updates,
-        n_dropped=len(trace.dropped),
-        cas_failure_rate=trace.cas_failure_rate(),
-        mean_lock_wait=trace.mean_lock_wait(),
-        staleness=trace.staleness_summary(),
-        staleness_values=trace.staleness_values(),
-        updates_per_thread=trace.updates_per_thread(config.m),
-        peak_pv_count=memory.peak_count,
-        peak_pv_bytes=memory.peak_bytes,
-        mean_pv_bytes=memory.mean_live_bytes(),
-        pool_hits=memory.pool_hits,
-        pool_misses=memory.pool_misses,
-        memory_timeline=memory.timeline(resolution=100),
-        retry_occupancy=trace.retry_loop_occupancy(resolution=100),
         final_accuracy=accuracy,
+        probes=probes,
     )
+    return RunResult(config=config, status=status, report=report, metrics=metrics)
 
 
 def repeated_configs(

@@ -58,6 +58,10 @@ class MemoryAccountant:
         # check to prove the steady-state step is allocation-free.
         self.pool_hits = 0
         self.pool_misses = 0
+        # Algorithm-1 reclamation decisions observed via the probe bus
+        # (a replaced vector marked stale and handed to the reader-count
+        # scheme); the matching free() lands when the last reader leaves.
+        self.reclaim_events = 0
 
     # ------------------------------------------------------------------
     def allocate(self, tag: str, nbytes: int) -> int:
@@ -89,6 +93,11 @@ class MemoryAccountant:
         self._events.append((now, -nbytes))
         self._count_events.append((now, -1))
         self._history.append(AllocationRecord(block_id, tag, nbytes, allocated_at, now))
+
+    # -- ProbeBus subscription (see repro.telemetry.bus) ---------------
+    def on_reclaim(self, time: float, thread: int, seq: int) -> None:
+        """Bus handler: one vector entered Algorithm 1's reclamation."""
+        self.reclaim_events += 1
 
     def record_pool(self, hit: bool) -> None:
         """Tally one arena acquisition (recycled payload vs. fresh)."""

@@ -105,6 +105,9 @@ class TraceRecorder:
         self._vd_time: list[float] = []
         self._vd_thread: list[int] = []
         self._vd_l2: list[float] = []
+        # raw CAS attempts observed via the bus (Leashed-SGD emits one
+        # per pointer CAS); evidence that cas_failure_rate is applicable
+        self.cas_attempt_count = 0
         # materialized-record caches (invalidated on append)
         self._updates_view: list[UpdateRecord] | None = []
         self._dropped_view: list[DroppedGradientRecord] | None = []
@@ -155,6 +158,62 @@ class TraceRecorder:
         self._vd_thread.append(thread)
         self._vd_l2.append(l2)
         self._vd_view = None
+
+    # -- ProbeBus subscription (see repro.telemetry.bus) ---------------
+    # The recorder is one of the two built-in bus subscribers; these
+    # handlers keep the columnar fast path (plain list appends, no
+    # record objects). ``loop_enter`` carries the matching LAU-SPC
+    # loop-entry time for retry-loop algorithms (NaN otherwise), letting
+    # one publish/drop event also reconstruct the retry-loop columns
+    # bit-exactly as the old paired add_update/add_retry_loop calls.
+    def on_publish(
+        self,
+        time: float,
+        thread: int,
+        seq: int,
+        staleness: int,
+        cas_failures: int = 0,
+        loop_enter: float = float("nan"),
+    ) -> None:
+        """Bus handler for one published update."""
+        self._upd_time.append(time)
+        self._upd_thread.append(thread)
+        self._upd_seq.append(seq)
+        self._upd_staleness.append(staleness)
+        self._upd_cas.append(cas_failures)
+        self._updates_view = None
+        if loop_enter == loop_enter:  # not NaN: a retry-loop stay ended
+            self.add_retry_loop(loop_enter, time, thread, cas_failures + 1, True)
+
+    def on_drop(
+        self,
+        time: float,
+        thread: int,
+        cas_failures: int,
+        loop_enter: float = float("nan"),
+    ) -> None:
+        """Bus handler for a persistence-bound gradient drop."""
+        self._drop_time.append(time)
+        self._drop_thread.append(thread)
+        self._drop_cas.append(cas_failures)
+        self._dropped_view = None
+        if loop_enter == loop_enter:
+            self.add_retry_loop(loop_enter, time, thread, cas_failures, False)
+
+    def on_cas_attempt(
+        self, time: float, thread: int, success: bool, failures_before: int
+    ) -> None:
+        """Bus handler for one CAS on the global pointer (tally only;
+        the per-update failure counts arrive with publish/drop)."""
+        self.cas_attempt_count += 1
+
+    def on_lock_wait(self, request_time: float, acquire_time: float, thread: int) -> None:
+        """Bus handler for one mutex acquisition."""
+        self.add_lock_wait(request_time, acquire_time, thread)
+
+    def on_view_divergence(self, time: float, thread: int, l2: float) -> None:
+        """Bus handler for an elastic-consistency measurement."""
+        self.add_view_divergence(time, thread, l2)
 
     # -- record-object recording (back-compat) ------------------------
     def record_update(self, record: UpdateRecord) -> None:
@@ -294,16 +353,29 @@ class TraceRecorder:
         return sample_t, occupancy
 
     def cas_failure_rate(self) -> float:
-        """Failed CAS attempts / total CAS attempts across the run."""
+        """Failed CAS attempts / total CAS attempts across the run.
+
+        NaN when there is no evidence any CAS ever happened — no
+        ``cas_attempt`` bus event and no nonzero per-update failure
+        count (lock-based or sequential algorithms) — so cross-algorithm
+        tables distinguish "not applicable" from a genuinely
+        contention-free 0.0.
+        """
         failures = sum(self._upd_cas) + sum(self._drop_cas)
         successes = len(self._upd_time)
         total = failures + successes
-        return failures / total if total else 0.0
+        if total == 0 or (self.cas_attempt_count == 0 and failures == 0):
+            return float("nan")
+        return failures / total
 
     def mean_lock_wait(self) -> float:
-        """Mean time spent blocked on the mutex (0 when lock-free)."""
+        """Mean time spent blocked on the mutex.
+
+        NaN when no lock acquisition was ever recorded (lock-free
+        algorithms): "not applicable", not "zero contention".
+        """
         if not self._lock_request:
-            return 0.0
+            return float("nan")
         waits = np.asarray(self._lock_acquire) - np.asarray(self._lock_request)
         return float(np.mean(waits))
 

@@ -1,0 +1,63 @@
+"""JSONL export/import of run results.
+
+One JSON object per line, one line per run — the append-friendly shape
+that survives the process-parallel harness (workers can be merged by
+concatenation) and streams into ``repro analyze``. Lines are the
+flattened :func:`repro.utils.serialization.result_to_dict` payload, so
+NumPy arrays and NaN/inf round-trip exactly, and every line carries the
+:data:`~repro.telemetry.metrics.SCHEMA_VERSION` it was written under.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import SCHEMA_VERSION
+from repro.utils.serialization import _decode, _encode, result_to_dict
+
+
+def result_to_line(result) -> str:
+    """One run (a ``RunResult`` or an already-flat dict) as one compact
+    JSON line."""
+    # Dicts are re-encoded (idempotently), so rows from read_jsonl —
+    # carrying restored ndarrays / NaN — can be written straight back.
+    payload = _encode(result) if isinstance(result, dict) else result_to_dict(result)
+    payload.setdefault("schema_version", SCHEMA_VERSION)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def write_jsonl(results: Iterable, path: str | Path, *, append: bool = False) -> Path:
+    """Write runs as JSONL; ``append=True`` adds to an existing file."""
+    path = Path(path)
+    mode = "a" if append else "w"
+    with path.open(mode) as fh:
+        for result in results:
+            fh.write(result_to_line(result) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path, *, strict: bool = True) -> list[dict]:
+    """Read runs back as plain dicts (arrays/NaN restored).
+
+    ``strict`` rejects lines written under a *newer* schema than this
+    code knows; older versions are accepted as-is (schema v1 is the
+    first).
+    """
+    out: list[dict] = []
+    with Path(path).open() as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            row = _decode(json.loads(line))
+            version = row.get("schema_version")
+            if strict and (version is None or version > SCHEMA_VERSION):
+                raise ConfigurationError(
+                    f"{path}:{lineno}: schema_version {version!r} not supported "
+                    f"(this build reads <= {SCHEMA_VERSION})"
+                )
+            out.append(row)
+    return out

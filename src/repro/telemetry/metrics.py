@@ -1,0 +1,118 @@
+"""The results layer: schema-versioned run metrics.
+
+:class:`RunMetrics` replaces the old hand-copied flat ``RunResult``
+fields with one mapping produced from the run's bus subscribers.
+:func:`collect_run_metrics` is the single place that knows how to turn
+a finished run's :class:`~repro.sim.trace.TraceRecorder` /
+:class:`~repro.sim.memory.MemoryAccountant` and attached probes into
+that mapping — ``run_once`` no longer hand-plucks ~20 aggregate fields.
+
+The mapping is:
+
+* **schema-versioned** — :data:`SCHEMA_VERSION` rides along, so JSONL
+  consumers can reject (or migrate) foreign layouts;
+* **picklable** — plain dict of floats / ints / dicts / NumPy arrays,
+  so it survives the process-parallel harness unchanged;
+* **JSON-exportable** — :mod:`repro.telemetry.jsonl` round-trips it
+  through the repo's NaN/ndarray-safe encoder.
+
+Keys (schema v1); probe results live under ``probes.<name>``:
+
+====================  =====================================================
+``virtual_time``      total virtual seconds of the run
+``wall_seconds``      host seconds the run took
+``n_updates``         published updates (global SGD iterations)
+``n_dropped``         gradients dropped by the persistence bound
+``cas_failure_rate``  failed/total CAS (NaN when no CAS occurred)
+``mean_lock_wait``    mean mutex wait (NaN when no lock was used)
+``staleness``         mean/median/p90/max summary dict
+``staleness_values``  per-update staleness array (publish order)
+``updates_per_thread`` published-update counts per tid
+``peak_pv_count``     Lemma 2: peak live ParameterVector instances
+``peak_pv_bytes``     peak live simulated bytes
+``mean_pv_bytes``     time-weighted mean live bytes
+``pool_hits/misses``  arena recycling tallies
+``reclaim_events``    Algorithm-1 reclamation decisions observed
+``memory_timeline``   sampled (times, bytes, count) arrays
+``retry_occupancy``   sampled LAU-SPC occupancy step function
+``final_accuracy``    held-out accuracy of the final parameters
+``probes``            ``{probe_name: probe.result()}``
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+#: Bump on any incompatible change to the key layout above.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class RunMetrics(Mapping):
+    """Schema-versioned, picklable mapping of one run's measurements."""
+
+    values: dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- Mapping interface --------------------------------------------
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # -- conveniences -------------------------------------------------
+    def probe(self, name: str) -> dict:
+        """One probe's result dict (raises KeyError if not attached)."""
+        return self.values["probes"][name]
+
+    @property
+    def probe_names(self) -> tuple[str, ...]:
+        return tuple(self.values.get("probes", ()))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RunMetrics(v{self.schema_version}, "
+            f"{sorted(self.values)}, probes={list(self.probe_names)})"
+        )
+
+
+def collect_run_metrics(
+    trace,
+    memory,
+    *,
+    m: int,
+    virtual_time: float,
+    wall_seconds: float,
+    final_accuracy: float = float("nan"),
+    probes: tuple = (),
+) -> RunMetrics:
+    """Assemble the schema-v1 :class:`RunMetrics` from a finished run's
+    built-in subscribers plus any attached probes."""
+    values: dict[str, Any] = {
+        "virtual_time": virtual_time,
+        "wall_seconds": wall_seconds,
+        "n_updates": trace.n_updates,
+        "n_dropped": len(trace.dropped),
+        "cas_failure_rate": trace.cas_failure_rate(),
+        "mean_lock_wait": trace.mean_lock_wait(),
+        "staleness": trace.staleness_summary(),
+        "staleness_values": trace.staleness_values(),
+        "updates_per_thread": trace.updates_per_thread(m),
+        "peak_pv_count": memory.peak_count,
+        "peak_pv_bytes": memory.peak_bytes,
+        "mean_pv_bytes": memory.mean_live_bytes(),
+        "pool_hits": memory.pool_hits,
+        "pool_misses": memory.pool_misses,
+        "reclaim_events": getattr(memory, "reclaim_events", 0),
+        "memory_timeline": memory.timeline(resolution=100),
+        "retry_occupancy": trace.retry_loop_occupancy(resolution=100),
+        "final_accuracy": final_accuracy,
+        "probes": {p.name: p.result() for p in probes},
+    }
+    return RunMetrics(values=values)

@@ -1,0 +1,432 @@
+"""The probe layer: pluggable Section-IV validation measurements.
+
+A probe is a bus subscriber (any object with ``on_<event>`` methods,
+see :mod:`repro.telemetry.bus`) that additionally:
+
+* is **bound** to a :class:`RunInfo` before the run — the static facts
+  (m, cost model, persistence bound) its predictions need,
+* produces a JSON-safe ``result()`` dict after the run, collected into
+  :class:`~repro.telemetry.metrics.RunMetrics` under its ``name``.
+
+Probes observe and never perturb: handlers are plain Python between two
+scheduler yields — no virtual time, no RNG, no preemption — so any
+probe set yields bitwise-identical runs (the determinism regression in
+``tests/test_determinism.py`` pins this).
+
+The built-ins validate the paper's Section IV:
+
+* :class:`OccupancyProbe` — measured LAU-SPC retry-loop occupancy vs
+  the analytic fixed points ``n*`` (Cor. 3.1) and ``n*_gamma``
+  (Cor. 3.2 / eq. 7),
+* :class:`StalenessDecompositionProbe` — the ``tau = tau_c + tau_s``
+  split of eq. (6), measured per update against the closed-form
+  expectations,
+* :class:`PhaseTimeProbe` — per-phase virtual-time breakdown
+  (read / compute / prepare / LAU-SPC / publish),
+* :class:`CasTimelineProbe` — CAS contention over time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.contention import (
+    expected_compute_staleness,
+    expected_scheduling_staleness,
+    persistence_gamma,
+)
+from repro.analysis.dynamics import fixed_point, fixed_point_with_persistence
+from repro.errors import ConfigurationError
+
+_NAN = float("nan")
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """The static facts of one run that probe predictions depend on."""
+
+    algorithm: str
+    m: int
+    eta: float
+    seed: int
+    tc: float
+    tu: float
+    t_copy: float
+    t_atomic: float
+    t_alloc: float
+    #: Persistence bound ``T_p`` for Leashed variants; NaN otherwise.
+    persistence: float = _NAN
+
+    @property
+    def is_leashed(self) -> bool:
+        return self.persistence == self.persistence  # not NaN
+
+    @property
+    def gamma(self) -> float:
+        """Departure-rate boost of eq. (6); NaN for non-Leashed runs."""
+        if not self.is_leashed:
+            return _NAN
+        return persistence_gamma(self.persistence)
+
+    @property
+    def tu_loop(self) -> float:
+        """Effective duration of one LAU-SPC loop iteration (the
+        ``T_u`` of the Section IV recurrence): vector copy + bulk update
+        plus the loop's four atomics (pointer load, pin, unpin, CAS)."""
+        return self.tu + self.t_copy + 4.0 * self.t_atomic
+
+
+def run_info_for(config, cost) -> RunInfo:
+    """Derive a :class:`RunInfo` from a RunConfig and CostModel."""
+    match = re.fullmatch(r"LSH(?:_[A-Za-z]+)?_ps(\d+|inf)", config.algorithm)
+    persistence = _NAN
+    if match:
+        persistence = float("inf") if match.group(1) == "inf" else float(int(match.group(1)))
+    return RunInfo(
+        algorithm=config.algorithm,
+        m=config.m,
+        eta=config.eta,
+        seed=config.seed,
+        tc=cost.tc,
+        tu=cost.tu,
+        t_copy=cost.t_copy,
+        t_atomic=cost.t_atomic,
+        t_alloc=cost.t_alloc,
+        persistence=persistence,
+    )
+
+
+class Probe:
+    """Base class for pluggable probes.
+
+    Subclasses set ``name`` (the key their result lands under in
+    :class:`~repro.telemetry.metrics.RunMetrics`) and define at least
+    one ``on_<event>`` handler.
+    """
+
+    name: str = "probe"
+
+    def __init__(self) -> None:
+        self.info: RunInfo | None = None
+
+    def bind(self, info: RunInfo) -> None:
+        """Receive the run's static facts before the run starts."""
+        self.info = info
+
+    def result(self) -> dict:
+        """JSON-safe measurement summary, collected after the run."""
+        raise NotImplementedError
+
+
+def _downsample(times: list[float], values: list[float], limit: int = 512):
+    """Deterministic decimation of a step curve to at most ``limit``
+    points (keeps endpoints)."""
+    n = len(times)
+    if n <= limit:
+        return list(times), list(values)
+    idx = np.linspace(0, n - 1, limit).astype(int)
+    t = np.asarray(times)
+    v = np.asarray(values)
+    return t[idx].tolist(), v[idx].tolist()
+
+
+# ----------------------------------------------------------------------
+class OccupancyProbe(Probe):
+    """LAU-SPC retry-loop occupancy vs ``n*`` / ``n*_gamma``.
+
+    Tracks the number of threads inside the retry loop as a step
+    function (``lau_enter`` increments; ``publish``/``drop`` with a
+    non-NaN ``loop_enter`` decrement) and reports the time-weighted
+    steady-state mean over the second half of the run next to the
+    analytic fixed points of Corollaries 3.1/3.2, computed with
+    ``T_u`` = :attr:`RunInfo.tu_loop`.
+    """
+
+    name = "occupancy"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._count = 0
+        self._last_time = 0.0
+        self._times: list[float] = []
+        self._values: list[int] = []
+        self._integral_t: list[float] = []  # cumulative time-weighted integral
+        self._integral_v: list[float] = []
+
+    def _step(self, time: float, delta: int) -> None:
+        self._integral_t.append(time)
+        prev = self._integral_v[-1] if self._integral_v else 0.0
+        self._integral_v.append(prev + self._count * (time - self._last_time))
+        self._count += delta
+        self._last_time = time
+        self._times.append(time)
+        self._values.append(self._count)
+
+    def on_lau_enter(self, time: float, thread: int) -> None:
+        self._step(time, +1)
+
+    def on_publish(
+        self, time, thread, seq, staleness, cas_failures=0, loop_enter=_NAN
+    ) -> None:
+        if loop_enter == loop_enter:  # retry-loop algorithm only
+            self._step(time, -1)
+
+    def on_drop(self, time, thread, cas_failures, loop_enter=_NAN) -> None:
+        if loop_enter == loop_enter:
+            self._step(time, -1)
+
+    # ------------------------------------------------------------------
+    def _steady_state_mean(self) -> float:
+        """Time-weighted mean occupancy over the last half of the run."""
+        if len(self._integral_t) < 2:
+            return _NAN
+        t = np.asarray(self._integral_t)
+        cum = np.asarray(self._integral_v)
+        t_half = 0.5 * t[-1]
+        i = int(np.searchsorted(t, t_half))
+        i = min(max(i, 0), len(t) - 2)
+        span = t[-1] - t[i]
+        if span <= 0:
+            return _NAN
+        return float((cum[-1] - cum[i]) / span)
+
+    def result(self) -> dict:
+        info = self.info
+        measured = self._steady_state_mean()
+        n_star = n_star_gamma = _NAN
+        if info is not None and info.is_leashed:
+            n_star = fixed_point(info.m, info.tc, info.tu_loop)
+            n_star_gamma = fixed_point_with_persistence(
+                info.m, info.tc, info.tu_loop, info.gamma
+            )
+        times, values = _downsample(self._times, [float(v) for v in self._values])
+        return {
+            "steady_state_mean": measured,
+            "n_star": n_star,
+            "n_star_gamma": n_star_gamma,
+            "ratio_to_prediction": (
+                measured / n_star_gamma if n_star_gamma and n_star_gamma == n_star_gamma
+                else _NAN
+            ),
+            "n_events": len(self._times),
+            "times": times,
+            "occupancy": values,
+        }
+
+
+# ----------------------------------------------------------------------
+class StalenessDecompositionProbe(Probe):
+    """Eq. (6)'s ``tau = tau_c + tau_s`` split, measured per update.
+
+    ``tau_c`` (compute-overlap staleness) is ``seq_now - view_seq``
+    between an update's ``read_pinned`` and ``grad_done`` events;
+    ``tau_s`` (scheduling staleness) is the remainder of the total
+    staleness the ``publish`` event carries. Both are reported against
+    the paper's closed-form expectations (``E[tau_s] ~ n*_gamma``).
+    """
+
+    name = "staleness"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._view_seq: dict[int, int] = {}
+        self._tau_c_pending: dict[int, int] = {}
+        self._tau_c: list[int] = []
+        self._tau_s: list[int] = []
+
+    def on_read_pinned(self, time: float, thread: int, view_seq: int) -> None:
+        self._view_seq[thread] = view_seq
+
+    def on_grad_done(self, time: float, thread: int, seq_now: int) -> None:
+        view = self._view_seq.get(thread)
+        if view is not None:
+            self._tau_c_pending[thread] = max(seq_now - view, 0)
+
+    def on_publish(
+        self, time, thread, seq, staleness, cas_failures=0, loop_enter=_NAN
+    ) -> None:
+        tau_c = self._tau_c_pending.get(thread, 0)
+        tau_c = min(tau_c, staleness)
+        self._tau_c.append(tau_c)
+        self._tau_s.append(staleness - tau_c)
+
+    # ------------------------------------------------------------------
+    def result(self) -> dict:
+        info = self.info
+        tau_c = np.asarray(self._tau_c, dtype=float)
+        tau_s = np.asarray(self._tau_s, dtype=float)
+        expected_c = expected_s = _NAN
+        if info is not None:
+            expected_c = expected_compute_staleness(info.m, info.tc, info.tu_loop)
+            if info.is_leashed:
+                expected_s = expected_scheduling_staleness(
+                    info.m, info.tc, info.tu_loop, persistence=info.persistence
+                )
+        return {
+            "n_updates": int(tau_c.size),
+            "mean_tau_c": float(tau_c.mean()) if tau_c.size else _NAN,
+            "mean_tau_s": float(tau_s.mean()) if tau_s.size else _NAN,
+            "mean_tau": float((tau_c + tau_s).mean()) if tau_c.size else _NAN,
+            "p90_tau_c": float(np.percentile(tau_c, 90)) if tau_c.size else _NAN,
+            "p90_tau_s": float(np.percentile(tau_s, 90)) if tau_s.size else _NAN,
+            "expected_tau_c": expected_c,
+            "expected_tau_s": expected_s,
+        }
+
+
+# ----------------------------------------------------------------------
+class PhaseTimeProbe(Probe):
+    """Per-phase virtual-time breakdown of the workers' step cycle.
+
+    Phases are delimited by the protocol events each thread emits:
+
+    * ``read``    — from the previous publish/drop (or thread start) to
+      ``read_pinned``: acquiring the gradient-input view,
+    * ``compute`` — ``read_pinned`` to ``grad_done``,
+    * ``prepare`` — ``grad_done`` to ``lau_enter`` (candidate
+      allocation; Leashed only),
+    * ``lau_spc`` — ``lau_enter`` to the publish/drop (the retry loop),
+    * ``publish`` — ``grad_done`` straight to publish for algorithms
+      without a retry loop.
+    """
+
+    name = "phase_time"
+
+    _PHASES = ("read", "compute", "prepare", "lau_spc", "publish")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last: dict[int, float] = {}
+        self._in_lau: set[int] = set()
+        self._totals = {p: 0.0 for p in self._PHASES}
+
+    def _charge(self, phase: str, time: float, thread: int) -> None:
+        prev = self._last.get(thread, 0.0)
+        self._totals[phase] += max(time - prev, 0.0)
+        self._last[thread] = time
+
+    def on_read_pinned(self, time: float, thread: int, view_seq: int) -> None:
+        self._charge("read", time, thread)
+
+    def on_grad_done(self, time: float, thread: int, seq_now: int) -> None:
+        self._charge("compute", time, thread)
+
+    def on_lau_enter(self, time: float, thread: int) -> None:
+        self._charge("prepare", time, thread)
+        self._in_lau.add(thread)
+
+    def on_publish(
+        self, time, thread, seq, staleness, cas_failures=0, loop_enter=_NAN
+    ) -> None:
+        if thread in self._in_lau:
+            self._in_lau.discard(thread)
+            self._charge("lau_spc", time, thread)
+        else:
+            self._charge("publish", time, thread)
+
+    def on_drop(self, time, thread, cas_failures, loop_enter=_NAN) -> None:
+        if thread in self._in_lau:
+            self._in_lau.discard(thread)
+            self._charge("lau_spc", time, thread)
+
+    # ------------------------------------------------------------------
+    def result(self) -> dict:
+        total = sum(self._totals.values())
+        fractions = {
+            p: (v / total if total > 0 else _NAN) for p, v in self._totals.items()
+        }
+        return {
+            "seconds": dict(self._totals),
+            "fractions": fractions,
+            "total_attributed": total,
+        }
+
+
+# ----------------------------------------------------------------------
+class CasTimelineProbe(Probe):
+    """CAS contention over virtual time (Leashed-SGD only).
+
+    Collects every ``cas_attempt`` and reports a binned failure-rate
+    timeline plus run totals.
+    """
+
+    name = "cas_timeline"
+
+    def __init__(self, *, bins: int = 20) -> None:
+        super().__init__()
+        self.bins = bins
+        self._times: list[float] = []
+        self._success: list[bool] = []
+
+    def on_cas_attempt(
+        self, time: float, thread: int, success: bool, failures_before: int
+    ) -> None:
+        self._times.append(time)
+        self._success.append(success)
+
+    # ------------------------------------------------------------------
+    def result(self) -> dict:
+        times = np.asarray(self._times)
+        success = np.asarray(self._success, dtype=bool)
+        n = int(times.size)
+        if n == 0:
+            return {
+                "n_attempts": 0,
+                "n_failures": 0,
+                "failure_rate": _NAN,
+                "bin_centers": [],
+                "bin_attempts": [],
+                "bin_failure_rate": [],
+            }
+        failures = int(n - success.sum())
+        bins = self.bins
+        edges = np.linspace(0.0, float(times.max()) or 1.0, bins + 1)
+        which = np.clip(np.digitize(times, edges) - 1, 0, bins - 1)
+        attempts = np.bincount(which, minlength=bins)
+        fails = np.bincount(which, weights=(~success).astype(float), minlength=bins)
+        with np.errstate(invalid="ignore"):
+            rate = np.where(attempts > 0, fails / np.maximum(attempts, 1), np.nan)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        return {
+            "n_attempts": n,
+            "n_failures": failures,
+            "failure_rate": failures / n,
+            "bin_centers": centers.tolist(),
+            "bin_attempts": attempts.tolist(),
+            "bin_failure_rate": [
+                float(r) if r == r else _NAN for r in rate
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+PROBES: dict[str, type[Probe]] = {
+    OccupancyProbe.name: OccupancyProbe,
+    StalenessDecompositionProbe.name: StalenessDecompositionProbe,
+    PhaseTimeProbe.name: PhaseTimeProbe,
+    CasTimelineProbe.name: CasTimelineProbe,
+}
+
+#: Probe names enabled by ``repro analyze`` by default.
+STANDARD_PROBES = tuple(PROBES)
+
+
+def register_probe(name: str, cls: type[Probe]) -> None:
+    """Add a probe class to the :func:`make_probe` registry."""
+    PROBES[name] = cls
+
+
+def make_probe(name: str) -> Probe:
+    """Instantiate a registered probe by name."""
+    try:
+        cls = PROBES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown probe {name!r}; known: {sorted(PROBES)}"
+        ) from None
+    return cls()

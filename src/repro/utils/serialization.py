@@ -34,6 +34,26 @@ def _encode(value: Any) -> Any:
         return {str(k): _encode(v) for k, v in value.items()}
     if isinstance(value, (list, tuple)):
         return [_encode(v) for v in value]
+    # RunResult-shaped objects (duck-typed to avoid a harness import):
+    # flatten the RunMetrics mapping into the top level, so the JSON
+    # keeps the flat pre-telemetry shape ("staleness_values" etc. next
+    # to "config"/"status") that archived payloads and reports expect.
+    metrics = getattr(value, "metrics", None)
+    if (
+        metrics is not None
+        and hasattr(metrics, "schema_version")
+        and isinstance(getattr(metrics, "values", None), dict)
+        and hasattr(value, "config")
+        and hasattr(value, "report")
+    ):
+        flat = {
+            "config": _encode(value.config),
+            "status": _encode(value.status),
+            "report": _encode(value.report),
+            "schema_version": metrics.schema_version,
+        }
+        flat.update({str(k): _encode(v) for k, v in metrics.values.items()})
+        return flat
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             f.name: _encode(getattr(value, f.name)) for f in dataclasses.fields(value)

@@ -153,6 +153,41 @@ def fig_occupancy_model(
     return chart
 
 
+def fig_occupancy_validation(
+    occupancy: dict,
+    *,
+    title: str = "Section IV validation: occupancy vs n*/n*_gamma",
+) -> Chart:
+    """Measured LAU-SPC occupancy (an :class:`OccupancyProbe` result
+    dict) against both analytic fixed points: ``n*`` of Cor. 3.1 and the
+    persistence-corrected ``n*_gamma`` of Cor. 3.2 / eq. (7)."""
+    t = np.asarray(occupancy.get("times", ()), dtype=float)
+    occ = np.asarray(occupancy.get("occupancy", ()), dtype=float)
+    if t.size < 2:
+        raise ConfigurationError(
+            "need a measured occupancy series (run with the 'occupancy' probe)"
+        )
+    levels = [float(occupancy.get(k, np.nan))
+              for k in ("n_star", "n_star_gamma", "steady_state_mean")]
+    hi = max([float(occ.max())] + [v for v in levels if np.isfinite(v)])
+    chart = Chart(title=title, x_label="virtual time [s]",
+                  y_label="threads in LAU-SPC")
+    chart.set_scales((0.0, float(t.max())), (0.0, (hi or 1.0) * 1.1))
+    chart.draw_frame()
+    chart.add_step(t, occ, label="measured", color=PALETTE[0])
+    n_star, n_star_gamma, steady = levels
+    if np.isfinite(steady):
+        chart.add_hline(steady, color=PALETTE[3], label=f"steady mean = {steady:.2f}")
+    if np.isfinite(n_star):
+        chart.add_hline(n_star, color=PALETTE[1], label=f"n* = {n_star:.2f}")
+    if np.isfinite(n_star_gamma):
+        chart.add_hline(
+            n_star_gamma, color=PALETTE[2], label=f"n*_gamma = {n_star_gamma:.2f}"
+        )
+    chart.draw_legend()
+    return chart
+
+
 def fig_scalability_sweep(
     medians: dict[str, dict[int, float]],
     *,

@@ -53,8 +53,14 @@ def run_algorithm(
     dtype=np.float64,
     problem_wrapper=None,
     arena=None,
+    probes=(),
 ) -> Execution:
-    """Build and run one execution; returns all instruments."""
+    """Build and run one execution; returns all instruments.
+
+    ``probes`` takes already-constructed probe instances (bus
+    subscribers); they are attached to ``ctx.probes`` before workers
+    spawn, exactly as ``run_once`` does for named probes.
+    """
     problem = problem or QuadraticProblem(48, h=1.0, b=2.0, noise_sigma=0.05)
     if problem_wrapper is not None:
         problem = problem_wrapper(problem)
@@ -71,6 +77,8 @@ def run_algorithm(
         trace=trace, memory=memory, rng_factory=factory, dtype=dtype,
         arena=arena,
     )
+    for probe in probes:
+        ctx.probes.attach(probe)
     algorithm = make_algorithm(name)
     algorithm.setup(ctx, problem.init_theta(factory.named("init")))
     monitor = ConvergenceMonitor(

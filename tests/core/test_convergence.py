@@ -91,9 +91,14 @@ class TestStatuses:
         report = MonitorHarness([10.0] * 50, max_virtual_time=5.0).run()
         assert report.status is RunStatus.DIVERGED
 
-    def test_diverge_on_update_budget(self):
+    def test_update_budget_stops(self):
+        # max_updates is a harness cap, not the paper's Diverge verdict.
         report = MonitorHarness([10.0] * 50, max_updates=9).run()
-        assert report.status is RunStatus.DIVERGED
+        assert report.status is RunStatus.STOPPED
+
+    def test_wall_budget_stops(self):
+        report = MonitorHarness([10.0] * 50, max_wall_seconds=0.0).run()
+        assert report.status is RunStatus.STOPPED
 
     def test_converged_stops_early(self):
         harness = MonitorHarness([10.0, 0.5] + [0.5] * 50)

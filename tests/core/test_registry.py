@@ -1,0 +1,87 @@
+"""Tests for the algorithm registry: paper-label parsing of
+``make_algorithm`` and extension via ``register_algorithm``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.base import ALGORITHMS, _FACTORIES, make_algorithm, register_algorithm
+from repro.core.leashed import LeashedSGD
+from repro.errors import ConfigurationError
+
+
+class TestNameParsing:
+    @pytest.mark.parametrize("k", [0, 1, 7, 42, 1000])
+    def test_lsh_ps_k_parses_persistence(self, k):
+        alg = make_algorithm(f"LSH_ps{k}")
+        assert isinstance(alg, LeashedSGD)
+        assert alg.persistence == k
+        assert alg.name == f"LSH_ps{k}"
+
+    def test_lsh_psinf_is_unbounded(self):
+        alg = make_algorithm("LSH_psinf")
+        assert isinstance(alg, LeashedSGD)
+        assert alg.persistence == float("inf")
+
+    def test_paper_set_round_trips_names(self):
+        for name in ALGORITHMS:
+            assert make_algorithm(name).name == name
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "SGD_MAGIC",
+            "LSH",            # missing persistence suffix
+            "LSH_ps",         # empty persistence
+            "LSH_ps-1",       # negative not part of the grammar
+            "LSH_ps1.5",      # non-integer
+            "LSH_psInf",      # case-sensitive
+            "lsh_ps1",
+            "LSH_ps1 ",       # fullmatch: no trailing junk
+            "",
+        ],
+    )
+    def test_unknown_names_rejected(self, name):
+        with pytest.raises(ConfigurationError, match="unknown algorithm"):
+            make_algorithm(name)
+
+    def test_error_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="LSH_ps<k>"):
+            make_algorithm("nope")
+
+
+class TestRegisterAlgorithm:
+    def test_registered_factory_round_trips(self):
+        sentinel = LeashedSGD(persistence=3)
+        register_algorithm("MY_ALG", lambda: sentinel)
+        try:
+            assert make_algorithm("MY_ALG") is sentinel
+        finally:
+            del _FACTORIES["MY_ALG"]
+
+    def test_registered_name_shadows_pattern(self):
+        # An explicit registration wins over the LSH_ps<k> grammar.
+        sentinel = LeashedSGD(persistence=99)
+        register_algorithm("LSH_ps5", lambda: sentinel)
+        try:
+            assert make_algorithm("LSH_ps5") is sentinel
+        finally:
+            del _FACTORIES["LSH_ps5"]
+        # ... and the grammar is back once unregistered.
+        assert make_algorithm("LSH_ps5").persistence == 5
+
+    def test_factory_called_per_instantiation(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return LeashedSGD(persistence=0)
+
+        register_algorithm("COUNTED", factory)
+        try:
+            a = make_algorithm("COUNTED")
+            b = make_algorithm("COUNTED")
+        finally:
+            del _FACTORIES["COUNTED"]
+        assert len(calls) == 2
+        assert a is not b

@@ -70,7 +70,20 @@ class TestRates:
         # failures = 3 + 0 + 2 = 5; successes = 2; total = 7
         assert trace.cas_failure_rate() == pytest.approx(5 / 7)
 
-    def test_cas_rate_empty(self, trace):
+    def test_cas_rate_empty_is_nan(self, trace):
+        # "never performed a CAS" is not-applicable, not rate-zero
+        assert np.isnan(trace.cas_failure_rate())
+
+    def test_cas_rate_nan_without_cas_evidence(self, trace):
+        # updates exist but carry no CAS evidence (lock-based/sequential)
+        trace.add_update(0.0, 0, 0, 0)
+        trace.add_update(1.0, 1, 1, 0)
+        assert np.isnan(trace.cas_failure_rate())
+
+    def test_cas_rate_zero_with_attempts(self, trace):
+        # bus evidence of (always-successful) CAS: genuinely 0.0
+        trace.on_cas_attempt(0.0, 0, True, 0)
+        trace.add_update(0.0, 0, 0, 0)
         assert trace.cas_failure_rate() == 0.0
 
     def test_mean_lock_wait(self, trace):
@@ -78,8 +91,9 @@ class TestRates:
         trace.record_lock_wait(LockWaitRecord(2.0, 2.5, 1))
         assert trace.mean_lock_wait() == pytest.approx(0.75)
 
-    def test_mean_lock_wait_empty(self, trace):
-        assert trace.mean_lock_wait() == 0.0
+    def test_mean_lock_wait_empty_is_nan(self, trace):
+        # lock-free algorithms: not-applicable, not zero contention
+        assert np.isnan(trace.mean_lock_wait())
 
 
 class TestPinnedAggregations:

@@ -1,0 +1,275 @@
+"""Unit tests for the built-in Section-IV probes, driven with scripted
+event streams so the measurements are pinned against hand-computed
+values."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.dynamics import fixed_point, fixed_point_with_persistence
+from repro.errors import ConfigurationError
+from repro.sim.cost import CostModel
+from repro.telemetry.probes import (
+    PROBES,
+    STANDARD_PROBES,
+    CasTimelineProbe,
+    OccupancyProbe,
+    PhaseTimeProbe,
+    Probe,
+    RunInfo,
+    StalenessDecompositionProbe,
+    make_probe,
+    register_probe,
+    run_info_for,
+)
+
+from tests.conftest import make_run_config
+
+NAN = float("nan")
+
+
+def leashed_info(m=8, persistence=NAN, tc=5e-3, tu=1e-3):
+    return RunInfo(
+        algorithm="LSH_psinf", m=m, eta=0.05, seed=1,
+        tc=tc, tu=tu, t_copy=0.5e-3, t_atomic=2.5e-8, t_alloc=2e-6,
+        persistence=persistence,
+    )
+
+
+class TestRunInfo:
+    def test_leashed_detection(self):
+        assert leashed_info(persistence=float("inf")).is_leashed
+        assert leashed_info(persistence=0.0).is_leashed
+        assert not leashed_info(persistence=NAN).is_leashed
+
+    def test_gamma_from_persistence(self):
+        assert leashed_info(persistence=0.0).gamma == pytest.approx(1.0)
+        assert leashed_info(persistence=1.0).gamma == pytest.approx(0.5)
+        assert leashed_info(persistence=float("inf")).gamma == 0.0
+        assert np.isnan(leashed_info(persistence=NAN).gamma)
+
+    def test_tu_loop_includes_copy_and_atomics(self):
+        info = leashed_info()
+        assert info.tu_loop == pytest.approx(
+            info.tu + info.t_copy + 4 * info.t_atomic
+        )
+
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("LSH_psinf", float("inf")),
+            ("LSH_ps0", 0.0),
+            ("LSH_ps7", 7.0),
+            ("ASYNC", NAN),
+            ("HOG", NAN),
+            ("SEQ", NAN),
+        ],
+    )
+    def test_run_info_for_parses_persistence(self, name, expected):
+        cost = CostModel(tc=5e-3, tu=1e-3, t_copy=0.5e-3)
+        info = run_info_for(
+            make_run_config(algorithm=name, m=1 if name == "SEQ" else 4), cost
+        )
+        if np.isnan(expected):
+            assert np.isnan(info.persistence)
+        else:
+            assert info.persistence == expected
+
+
+class TestOccupancyProbe:
+    def test_step_function_tracks_loop_population(self):
+        p = OccupancyProbe()
+        p.on_lau_enter(0.0, 0)
+        p.on_lau_enter(2.0, 1)
+        p.on_publish(4.0, 0, 1, 0, 0, loop_enter=0.0)
+        p.on_drop(6.0, 1, 3, loop_enter=2.0)
+        r = p.result()
+        assert r["n_events"] == 4
+        assert r["occupancy"] == [1.0, 2.0, 1.0, 0.0]
+        # Half-time is t=3; the probe anchors at the first event at or
+        # after it (t=4), so the window is (4, 6) with occupancy 1.
+        assert r["steady_state_mean"] == pytest.approx(1.0)
+
+    def test_non_retry_publish_ignored(self):
+        # ASYNC/HOG publishes carry loop_enter=NaN and must not drive
+        # the counter negative.
+        p = OccupancyProbe()
+        p.on_publish(1.0, 0, 1, 0)           # default loop_enter=NaN
+        p.on_publish(2.0, 1, 2, 1, 0, NAN)
+        assert p.result()["occupancy"] == []
+
+    def test_predictions_for_leashed(self):
+        p = OccupancyProbe()
+        info = leashed_info(m=8, persistence=1.0)
+        p.bind(info)
+        r = p.result()
+        assert r["n_star"] == pytest.approx(fixed_point(8, info.tc, info.tu_loop))
+        assert r["n_star_gamma"] == pytest.approx(
+            fixed_point_with_persistence(8, info.tc, info.tu_loop, 0.5)
+        )
+        assert np.isnan(r["steady_state_mean"])  # no events recorded
+
+    def test_predictions_nan_for_non_leashed(self):
+        p = OccupancyProbe()
+        p.bind(leashed_info(persistence=NAN))
+        r = p.result()
+        assert np.isnan(r["n_star"]) and np.isnan(r["n_star_gamma"])
+
+
+class TestStalenessDecompositionProbe:
+    def test_tau_split_pinned(self):
+        p = StalenessDecompositionProbe()
+        # Thread 0 pins seq 5, finishes gradient at seq 8 (tau_c = 3),
+        # publishes with total staleness 4 -> tau_s = 1.
+        p.on_read_pinned(0.0, 0, 5)
+        p.on_grad_done(1.0, 0, 8)
+        p.on_publish(2.0, 0, 9, 4)
+        r = p.result()
+        assert r["n_updates"] == 1
+        assert r["mean_tau_c"] == pytest.approx(3.0)
+        assert r["mean_tau_s"] == pytest.approx(1.0)
+        assert r["mean_tau"] == pytest.approx(4.0)
+
+    def test_tau_c_capped_by_total_staleness(self):
+        # Measurement scales can make seq_now - view exceed the staleness
+        # the publish reports; tau_c is clamped so tau_s stays >= 0.
+        p = StalenessDecompositionProbe()
+        p.on_read_pinned(0.0, 0, 0)
+        p.on_grad_done(1.0, 0, 10)
+        p.on_publish(2.0, 0, 11, 6)
+        r = p.result()
+        assert r["mean_tau_c"] == pytest.approx(6.0)
+        assert r["mean_tau_s"] == pytest.approx(0.0)
+
+    def test_threads_tracked_independently(self):
+        p = StalenessDecompositionProbe()
+        p.on_read_pinned(0.0, 0, 0)
+        p.on_read_pinned(0.0, 1, 0)
+        p.on_grad_done(1.0, 0, 2)   # tau_c = 2
+        p.on_grad_done(1.0, 1, 5)   # tau_c = 5
+        p.on_publish(2.0, 1, 6, 5)
+        p.on_publish(3.0, 0, 7, 3)
+        r = p.result()
+        assert r["n_updates"] == 2
+        assert r["mean_tau_c"] == pytest.approx((5 + 2) / 2)
+
+    def test_empty_result_is_nan(self):
+        r = StalenessDecompositionProbe().result()
+        assert r["n_updates"] == 0
+        assert np.isnan(r["mean_tau_c"]) and np.isnan(r["mean_tau"])
+
+    def test_expected_values_present_when_bound(self):
+        p = StalenessDecompositionProbe()
+        p.bind(leashed_info(m=8, persistence=float("inf")))
+        r = p.result()
+        assert np.isfinite(r["expected_tau_c"])
+        assert np.isfinite(r["expected_tau_s"])
+
+
+class TestPhaseTimeProbe:
+    def test_leashed_cycle_attribution(self):
+        p = PhaseTimeProbe()
+        p.on_read_pinned(1.0, 0, 0)   # read:    0.0 -> 1.0
+        p.on_grad_done(3.0, 0, 0)     # compute: 1.0 -> 3.0
+        p.on_lau_enter(3.5, 0)        # prepare: 3.0 -> 3.5
+        p.on_publish(5.0, 0, 1, 0, 0, 3.5)  # lau_spc: 3.5 -> 5.0
+        r = p.result()
+        assert r["seconds"]["read"] == pytest.approx(1.0)
+        assert r["seconds"]["compute"] == pytest.approx(2.0)
+        assert r["seconds"]["prepare"] == pytest.approx(0.5)
+        assert r["seconds"]["lau_spc"] == pytest.approx(1.5)
+        assert r["seconds"]["publish"] == 0.0
+        assert r["total_attributed"] == pytest.approx(5.0)
+        assert sum(r["fractions"].values()) == pytest.approx(1.0)
+
+    def test_non_retry_cycle_uses_publish_phase(self):
+        p = PhaseTimeProbe()
+        p.on_read_pinned(1.0, 0, 0)
+        p.on_grad_done(2.0, 0, 0)
+        p.on_publish(2.5, 0, 1, 0)    # no lau_enter -> publish phase
+        r = p.result()
+        assert r["seconds"]["publish"] == pytest.approx(0.5)
+        assert r["seconds"]["lau_spc"] == 0.0
+
+    def test_drop_charged_to_lau_spc(self):
+        p = PhaseTimeProbe()
+        p.on_lau_enter(1.0, 0)
+        p.on_drop(4.0, 0, 3, 1.0)
+        assert p.result()["seconds"]["lau_spc"] == pytest.approx(3.0)
+
+    def test_empty_fractions_are_nan(self):
+        r = PhaseTimeProbe().result()
+        assert r["total_attributed"] == 0.0
+        assert all(np.isnan(v) for v in r["fractions"].values())
+
+
+class TestCasTimelineProbe:
+    def test_totals_and_rate(self):
+        p = CasTimelineProbe(bins=2)
+        p.on_cas_attempt(1.0, 0, True, 0)
+        p.on_cas_attempt(2.0, 1, False, 0)
+        p.on_cas_attempt(3.0, 1, True, 1)
+        p.on_cas_attempt(4.0, 2, False, 0)
+        r = p.result()
+        assert r["n_attempts"] == 4
+        assert r["n_failures"] == 2
+        assert r["failure_rate"] == pytest.approx(0.5)
+        assert len(r["bin_centers"]) == 2
+        assert sum(r["bin_attempts"]) == 4
+
+    def test_binned_rates_pinned(self):
+        p = CasTimelineProbe(bins=2)
+        # Edges span [0, max(times)=9]: bin 1 is [0, 4.5) with one
+        # failing attempt, bin 2 is [4.5, 9] with two successes.
+        p.on_cas_attempt(2.0, 0, False, 0)
+        p.on_cas_attempt(7.0, 0, True, 1)
+        p.on_cas_attempt(9.0, 1, True, 0)
+        r = p.result()
+        assert r["bin_failure_rate"][0] == pytest.approx(1.0)
+        assert r["bin_failure_rate"][1] == pytest.approx(0.0)
+
+    def test_empty_result(self):
+        r = CasTimelineProbe().result()
+        assert r["n_attempts"] == 0
+        assert np.isnan(r["failure_rate"])
+        assert r["bin_centers"] == []
+
+
+class TestRegistry:
+    def test_standard_probes_all_resolve(self):
+        for name in STANDARD_PROBES:
+            probe = make_probe(name)
+            assert isinstance(probe, Probe)
+            assert probe.name == name
+
+    def test_unknown_probe_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown probe"):
+            make_probe("nonexistent")
+
+    def test_register_probe_round_trip(self):
+        class CountingProbe(Probe):
+            name = "counting"
+
+            def __init__(self):
+                super().__init__()
+                self.n = 0
+
+            def on_publish(self, *args, **kwargs):
+                self.n += 1
+
+            def result(self):
+                return {"n": self.n}
+
+        register_probe("counting", CountingProbe)
+        try:
+            probe = make_probe("counting")
+            assert isinstance(probe, CountingProbe)
+            probe.on_publish(0.0, 0, 1, 0)
+            assert probe.result() == {"n": 1}
+        finally:
+            del PROBES["counting"]
+
+    def test_base_probe_result_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Probe().result()

@@ -48,6 +48,54 @@ class TestCliRun:
             main(["run", "--algorithm", "NOPE", "--workload", "quadratic"])
 
 
+class TestCliAnalyze:
+    def test_analyze_prints_probe_sections(self, capsys):
+        code = main(["analyze", "--algorithm", "LSH_ps1", "--m", "4", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n*_gamma" in out
+        assert "staleness decomposition" in out
+        assert "per-phase virtual-time breakdown" in out
+        assert "CAS contention" in out
+
+    def test_analyze_jsonl_svg_and_reload(self, tmp_path, capsys):
+        jsonl = tmp_path / "runs.jsonl"
+        svg = tmp_path / "occ.svg"
+        code = main(["analyze", "--algorithm", "LSH_ps1", "--m", "4",
+                     "--seed", "1", "--jsonl", str(jsonl), "--svg", str(svg)])
+        assert code == 0
+        assert svg.read_text().startswith("<svg")
+        capsys.readouterr()
+        # The archived run re-analyzes without re-running the simulation.
+        code = main(["analyze", "--from-jsonl", str(jsonl)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured steady-state" in out
+
+    def test_analyze_smoke_gate(self, capsys):
+        # The CI configuration: deterministic, must sit within tolerance
+        # of the Cor. 3.2 prediction.
+        args = ["analyze", "--algorithm", "LSH_ps1", "--m", "2",
+                "--eta", "0.01", "--seed", "1", "--smoke"]
+        assert main(args + ["--tolerance", "1.0"]) == 0
+        assert "... OK" in capsys.readouterr().out
+        # An unrealistically tight tolerance must flip the exit code.
+        assert main(args + ["--tolerance", "0.01"]) == 1
+
+    def test_analyze_smoke_needs_occupancy_probe(self, capsys):
+        code = main(["analyze", "--algorithm", "LSH_ps1", "--m", "2",
+                     "--probes", "staleness", "--smoke"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no finite occupancy" in out
+
+    def test_analyze_unknown_probe_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown probe"):
+            main(["analyze", "--probes", "bogus"])
+
+
 class TestCliTable1:
     def test_prints_table(self, capsys):
         assert main(["table1"]) == 0

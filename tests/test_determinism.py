@@ -40,15 +40,22 @@ def make_config(algorithm="LSH_ps1", seed=17, m=4):
     )
 
 
-def assert_identical(a, b):
+def same_scalar(x, y):
+    """Bitwise-equal scalars, where NaN == NaN (not-applicable metrics
+    like a lock-free run's mean_lock_wait must match as NaN)."""
+    return x == y or (np.isnan(x) and np.isnan(y))
+
+
+def assert_identical(a, b, *, check_config=True):
     """Bitwise equality of everything a run measures."""
-    assert a.config == b.config
+    if check_config:
+        assert a.config == b.config
     assert a.status is b.status
     assert a.virtual_time == b.virtual_time
     assert a.n_updates == b.n_updates
     assert a.n_dropped == b.n_dropped
-    assert a.cas_failure_rate == b.cas_failure_rate
-    assert a.mean_lock_wait == b.mean_lock_wait
+    assert same_scalar(a.cas_failure_rate, b.cas_failure_rate)
+    assert same_scalar(a.mean_lock_wait, b.mean_lock_wait)
     assert a.staleness == b.staleness or (
         np.isnan(a.staleness["mean"]) and np.isnan(b.staleness["mean"])
     )
@@ -84,6 +91,43 @@ class TestRunOnceDeterminism:
             seqs.append((r.n_updates, r.virtual_time))
         np.testing.assert_array_equal(times[0], times[1])
         assert seqs[0] == seqs[1]
+
+
+class TestTelemetryNeutrality:
+    """Probes observe, never perturb: a run with the full standard probe
+    set is bitwise-identical to the same run with telemetry off — final
+    loss, update sequence, virtual clock, everything."""
+
+    @pytest.mark.parametrize("algorithm", ["SEQ", "ASYNC", "HOG", "LSH_ps1"])
+    def test_probes_on_equals_probes_off(self, problem, cost, algorithm):
+        import dataclasses
+
+        from repro.telemetry import STANDARD_PROBES
+
+        m = 1 if algorithm == "SEQ" else 4
+        off = run_once(problem, cost, make_config(algorithm, m=m))
+        on = run_once(
+            problem,
+            cost,
+            dataclasses.replace(make_config(algorithm, m=m), probes=STANDARD_PROBES),
+        )
+        assert_identical(off, on, check_config=False)
+        assert same_scalar(off.report.final_loss, on.report.final_loss)
+        assert same_scalar(off.final_accuracy, on.final_accuracy)
+        # ... and the probed run actually carries the probe results.
+        assert set(on.metrics["probes"]) == set(STANDARD_PROBES)
+        assert off.metrics["probes"] == {}
+
+    def test_single_probe_subset_is_neutral(self, problem, cost):
+        import dataclasses
+
+        base = make_config("LSH_ps1")
+        off = run_once(problem, cost, base)
+        on = run_once(
+            problem, cost, dataclasses.replace(base, probes=("occupancy",))
+        )
+        assert_identical(off, on, check_config=False)
+        assert set(on.metrics["probes"]) == {"occupancy"}
 
 
 class TestSerialParallelEquivalence:
