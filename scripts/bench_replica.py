@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Benchmark for the replica-vectorized lockstep engine (``run_cohort``).
+
+Measures the 11-seed repeated-run protocol on the paper's workloads two
+ways — K independent ``run_once`` calls vs one ``run_cohort`` lockstep
+cohort whose pending gradient computations execute as stacked kernels —
+and records into ``BENCH_replica.json``:
+
+1. **Throughput** — aggregate steps/sec (total published updates over
+   host seconds) for serial vs cohort execution at K=11 on each
+   workload. Both sides are timed ``--reps`` times and the reported
+   speedup is the ratio of per-side bests — the ``timeit`` convention:
+   host noise (neighbor load, bandwidth contention) only ever slows a
+   measurement down, so each side's fastest rep is its least-noisy
+   estimate, and the ratio of bests estimates the true speedup. The
+   per-pair (back-to-back serial/cohort) ratios and their median are
+   recorded alongside for transparency about run-to-run spread.
+2. **Bitwise identity** — for every algorithm in {SEQ, ASYNC, HOG,
+   LSH_ps1} the cohort's per-replica results must be *bitwise
+   identical* to the serial ones (``n_updates``, ``virtual_time``,
+   final loss, status per replica). Replica vectorization changes how
+   floats are batched through BLAS, never which floats are computed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_replica.py
+    PYTHONPATH=src python scripts/bench_replica.py --smoke
+
+Smoke mode runs a tiny cohort, asserts bitwise identity for all four
+algorithms and speedup >= 1.0 on the timed workload, and exits nonzero
+on violation — the CI gate that the lockstep engine never silently
+regresses or diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.problem import DLProblem
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.harness.config import RunConfig
+from repro.harness.runner import repeated_configs, run_cohort, run_once
+from repro.nn.architectures import cnn_mnist, mlp_mnist
+from repro.sim.cost import CostModel
+
+#: (name, architecture, batch size, workers m, max updates per replica).
+WORKLOADS = [
+    ("mlp_b8_m4", "mlp", 8, 4, 500),
+    ("mlp_b16_m4", "mlp", 16, 4, 400),
+    ("cnn_b8_m4", "cnn", 8, 4, 60),
+]
+
+#: The identity gate's algorithm set (SEQ is pinned to m=1).
+IDENTITY_ALGORITHMS = ("SEQ", "ASYNC", "HOG", "LSH_ps1")
+
+
+def build_problem(arch: str, batch: int):
+    corpus = generate_synthetic_mnist(n_train=2048, n_eval=64, seed=2021)
+    if arch == "mlp":
+        net, xs, xe = mlp_mnist(), corpus.train.as_flat(), corpus.eval.as_flat()
+    else:
+        net, xs, xe = cnn_mnist(), corpus.train.as_images(), corpus.eval.as_images()
+    problem = DLProblem(
+        net, xs, corpus.train.labels, xe, corpus.eval.labels, batch_size=batch
+    )
+    cost = CostModel.mlp_default() if arch == "mlp" else CostModel.cnn_default()
+    return problem, cost
+
+
+def build_configs(algorithm: str, m: int, max_updates: int, cost: CostModel,
+                  replicas: int) -> list[RunConfig]:
+    # Unreachable epsilon + sparse eval interval: runs stop on
+    # max_updates; evals cost both sides identically.
+    m = 1 if algorithm == "SEQ" else m
+    base = RunConfig(
+        algorithm=algorithm,
+        m=m,
+        eta=0.01,
+        seed=7,
+        epsilons=(1e-6,),
+        eval_interval=150 * (cost.tc + cost.tu) / m,
+        max_updates=max_updates,
+        max_virtual_time=1e18,
+    )
+    return repeated_configs(base, repeats=replicas)
+
+
+def identity_of(result) -> tuple:
+    return (
+        result.n_updates,
+        float(result.virtual_time),
+        float(result.report.final_loss),
+        result.status.value,
+    )
+
+
+def bench_workload(workload, replicas: int, reps: int, *,
+                   identity_updates: int | None = None) -> dict:
+    """Time serial vs cohort at K=``replicas`` and gate identity on all
+    four algorithms for the same workload."""
+    name, arch, batch, m, updates = workload
+    problem, cost = build_problem(arch, batch)
+
+    # -- throughput: LSH_ps1; speedup = ratio of per-side best reps
+    # (timeit convention — noise is one-sided), pair ratios recorded.
+    configs = build_configs("LSH_ps1", m, updates, cost, replicas)
+    serial_best = cohort_best = 0.0
+    pair_speedups = []
+    serial_ids = cohort_ids = None
+    for _ in range(reps):
+        t0 = time.process_time()
+        serial_results = [run_once(problem, cost, cfg) for cfg in configs]
+        serial_elapsed = time.process_time() - t0
+        n_steps = sum(r.n_updates for r in serial_results)
+        serial_best = max(serial_best, n_steps / serial_elapsed)
+        serial_ids = [identity_of(r) for r in serial_results]
+
+        t0 = time.process_time()
+        cohort_results = run_cohort(problem, cost, configs)
+        cohort_elapsed = time.process_time() - t0
+        n_steps = sum(r.n_updates for r in cohort_results)
+        cohort_best = max(cohort_best, n_steps / cohort_elapsed)
+        cohort_ids = [identity_of(r) for r in cohort_results]
+        pair_speedups.append(serial_elapsed / cohort_elapsed)
+
+    row = {
+        "workload": name,
+        "replicas": replicas,
+        "serial_steps_per_sec": round(serial_best, 1),
+        "cohort_steps_per_sec": round(cohort_best, 1),
+        "speedup": round(cohort_best / serial_best, 3),
+        "pair_speedups": [round(s, 3) for s in pair_speedups],
+        "median_pair_speedup": round(float(np.median(pair_speedups)), 3),
+        "bitwise_identical": serial_ids == cohort_ids,
+        "per_algorithm": {},
+    }
+
+    # -- identity across the algorithm set (shorter runs suffice) ------
+    id_updates = identity_updates if identity_updates is not None else max(updates // 3, 30)
+    for algorithm in IDENTITY_ALGORITHMS:
+        cfgs = build_configs(algorithm, m, id_updates, cost, replicas)
+        serial = [identity_of(run_once(problem, cost, c)) for c in cfgs]
+        cohort = [identity_of(r) for r in run_cohort(problem, cost, cfgs)]
+        row["per_algorithm"][algorithm] = {
+            "replicas": replicas,
+            "bitwise_identical": serial == cohort,
+        }
+    row["bitwise_identical"] = row["bitwise_identical"] and all(
+        v["bitwise_identical"] for v in row["per_algorithm"].values()
+    )
+    return row
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny gated run: speedup >= 1.0 and bitwise "
+                             "identity, exit nonzero on violation")
+    parser.add_argument("--replicas", type=int, default=11,
+                        help="cohort size K (default 11, the paper's seed count)")
+    parser.add_argument("--reps", type=int, default=8,
+                        help="timed serial+cohort pairs per workload")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "workloads": [],
+    }
+
+    if args.smoke:
+        workload = ("mlp_b8_m4_smoke", "mlp", 8, 4, 90)
+        row = bench_workload(workload, replicas=3, reps=1, identity_updates=40)
+        payload["workloads"].append(row)
+        print(f"[smoke] {row['workload']} K={row['replicas']}: "
+              f"serial {row['serial_steps_per_sec']} -> cohort "
+              f"{row['cohort_steps_per_sec']} steps/s (x{row['speedup']})")
+        for alg, v in row["per_algorithm"].items():
+            print(f"[smoke]   {alg}: bitwise_identical={v['bitwise_identical']}")
+        ok = row["bitwise_identical"] and row["speedup"] >= 1.0
+        if not row["bitwise_identical"]:
+            print("FAIL: cohort and serial runs diverged", file=sys.stderr)
+        if row["speedup"] < 1.0:
+            print(f"FAIL: cohort slower than serial (x{row['speedup']})",
+                  file=sys.stderr)
+        out_path = args.out
+        if out_path:
+            with open(out_path, "w") as fh:
+                json.dump(payload, fh, indent=1)
+                fh.write("\n")
+            print(f"wrote {os.path.normpath(out_path)}")
+        return 0 if ok else 1
+
+    print(f"== serial (K x run_once) vs lockstep cohort (run_cohort), "
+          f"K={args.replicas} ==")
+    for workload in WORKLOADS:
+        row = bench_workload(workload, args.replicas, args.reps)
+        payload["workloads"].append(row)
+        algs = ", ".join(
+            f"{a}={'ok' if v['bitwise_identical'] else 'DIVERGED'}"
+            for a, v in row["per_algorithm"].items()
+        )
+        print(f"  {row['workload']}: serial {row['serial_steps_per_sec']} -> "
+              f"cohort {row['cohort_steps_per_sec']} steps/s (x{row['speedup']}, "
+              f"identity: {algs})")
+
+    out_path = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_replica.json"
+    )
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,10 @@ def _build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("--workers", type=int, default=None, metavar="N",
                        help="process-parallel runs (-1: all cores; default: "
                             "REPRO_WORKERS or serial)")
+    exp_p.add_argument("--replicas", type=int, default=None, metavar="K",
+                       help="lockstep replica cohort size: batch each cell's "
+                            "repeat seeds into stacked kernels (default: "
+                            "REPRO_REPLICAS or 1)")
 
     sub.add_parser("table1", help="print the paper's Table I")
     sub.add_parser("calibrate", help="measure real kernel times (Fig 9)")
@@ -88,6 +92,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--workers", type=int, default=None, metavar="N",
                          help="process-parallel runs (-1: all cores; default: "
                               "REPRO_WORKERS or serial)")
+    sweep_p.add_argument("--replicas", type=int, default=None, metavar="K",
+                         help="lockstep replica cohort size: batch each cell's "
+                              "repeat seeds into stacked kernels (default: "
+                              "REPRO_REPLICAS or 1)")
     sweep_p.add_argument("--json", default=None, metavar="PATH")
 
     ana_p = sub.add_parser(
@@ -198,7 +206,7 @@ def _cmd_experiment(args) -> int:
         "s4": exp.s4_high_parallelism,
         "s5": exp.s5_memory,
     }[args.step]
-    result = fn(workloads, workers=args.workers)
+    result = fn(workloads, workers=args.workers, replicas=args.replicas)
     print(result)
     return 0
 
@@ -233,6 +241,7 @@ def _cmd_sweep(args) -> int:
         problem, cost,
         progress=lambda msg: print(f"running {msg} ..."),
         workers=args.workers,
+        replicas=args.replicas,
     )
     print()
     print(summarize(results, target))

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algorithm
 from repro.core.parameter_vector import ParameterVector
+from repro.sim.grad import GradCompute
 from repro.sim.sync import SimLock
 from repro.sim.thread import SimThread
 
@@ -64,8 +65,9 @@ class AsyncLockSGD(Algorithm):
             probes.read_pinned(ctx.scheduler.now, thread.tid, view_seq)
 
             # --- compute phase (no lock held)
-            handle.grad_fn(local_param.theta, grad)
-            yield ctx.cost.tc
+            yield GradCompute(
+                handle.grad_fn, local_param.theta, grad, ctx.cost.tc, handle.grad_task
+            )
             probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
 
             # --- update phase: PARAM.update(...) under mtx

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.parameter_vector import ParameterVector
 from repro.core.problem import GradFn, Problem
+from repro.sim.grad import GradTask
 from repro.errors import ConfigurationError
 from repro.sim.arena import BufferArena
 from repro.sim.cost import CostModel
@@ -94,6 +95,11 @@ class WorkerHandle:
     #: otherwise allocate every step (real memory only; never accounted,
     #: exactly as the temporary never was).
     step_scratch: np.ndarray | None = None
+    #: Batchable gradient task when the problem offers one (see
+    #: :meth:`repro.core.problem.Problem.make_grad_task`); ``grad_fn``
+    #: is then ``grad_task.run``, so serial execution and the
+    #: replica-stacked executor consume one RNG stream identically.
+    grad_task: GradTask | None = None
     local_pvs: list[ParameterVector] = field(default_factory=list)
 
 
@@ -134,11 +140,17 @@ class Algorithm(abc.ABC):
         scratch = (
             np.empty(ctx.problem.d, dtype=ctx.dtype) if ctx.arena is not None else None
         )
+        # One sampling stream per worker: when the problem offers a
+        # batchable task, task.run IS the gradient function, so serial
+        # and replica-stacked runs draw identical batch sequences.
+        task = ctx.problem.make_grad_task(rng)
+        grad_fn = task.run if task is not None else ctx.problem.make_grad_fn(rng)
         return WorkerHandle(
             index=index,
             grad_pv=grad_pv,
-            grad_fn=ctx.problem.make_grad_fn(rng),
+            grad_fn=grad_fn,
             step_scratch=scratch,
+            grad_task=task,
         )
 
     def spawn_workers(self, ctx: SGDContext, m: int) -> list[SimThread]:

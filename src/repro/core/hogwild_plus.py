@@ -34,6 +34,7 @@ from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algori
 from repro.core.hogwild import chunk_slices
 from repro.core.parameter_vector import ParameterVector
 from repro.errors import ConfigurationError
+from repro.sim.grad import GradCompute
 from repro.sim.sync import AtomicCounter
 from repro.sim.thread import SimThread
 
@@ -134,8 +135,9 @@ class HogwildPlusPlus(Algorithm):
             accessors.fetch_add(-1)
             probes.read_pinned(ctx.scheduler.now, thread.tid, view_seq)
 
-            handle.grad_fn(local_param.theta, grad)
-            yield ctx.cost.tc
+            yield GradCompute(
+                handle.grad_fn, local_param.theta, grad, ctx.cost.tc, handle.grad_task
+            )
             probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
 
             shared = replica.theta

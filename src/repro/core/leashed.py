@@ -27,6 +27,7 @@ to ~3m (Lemma 2); the MemoryAccountant verifies this at run time.
 
 from __future__ import annotations
 
+import functools
 from typing import Generator
 
 import numpy as np
@@ -34,6 +35,7 @@ import numpy as np
 from repro.core.base import Algorithm, SGDContext, WorkerHandle
 from repro.core.parameter_vector import ParameterVector
 from repro.errors import ConfigurationError
+from repro.sim.grad import GradCompute
 from repro.sim.sync import AtomicRef
 from repro.sim.thread import SimThread
 
@@ -97,10 +99,17 @@ class LeashedSGD(Algorithm):
             latest = yield from self._latest_pointer(ctx)
             view_t = latest.t
             probes.read_pinned(ctx.scheduler.now, thread.tid, view_t)
-            handle.grad_fn(latest.theta, grad)
-            if view_copy is not None:
-                np.copyto(view_copy, latest.theta)  # measurement only
-            yield ctx.cost.tc
+            # Measurement hook (view-divergence mode) must snapshot the
+            # pinned payload right after the gradient reads it — bound
+            # per iteration because ``latest`` rebinds.
+            post = (
+                functools.partial(np.copyto, view_copy, latest.theta)
+                if view_copy is not None
+                else None
+            )
+            yield GradCompute(
+                handle.grad_fn, latest.theta, grad, ctx.cost.tc, handle.grad_task, post
+            )
             probes.grad_done(ctx.scheduler.now, thread.tid, pointer.load().t)
             latest.stop_reading()
             yield ctx.cost.t_atomic

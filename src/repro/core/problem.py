@@ -21,6 +21,7 @@ import numpy as np
 from repro.data.batcher import MiniBatcher
 from repro.errors import ConfigurationError
 from repro.nn.network import Network
+from repro.sim.grad import GradTask
 from repro.utils.validation import check_positive
 
 #: A worker's gradient function: fills ``out`` with the stochastic
@@ -52,6 +53,17 @@ class Problem(abc.ABC):
     def eval_accuracy(self, theta: np.ndarray) -> float:
         """Optional held-out accuracy (NaN when meaningless)."""
         return float("nan")
+
+    def make_grad_task(self, rng: np.random.Generator) -> GradTask | None:
+        """A batchable gradient task, or None if this problem only
+        offers the plain closure (the default).
+
+        When a problem returns a task, the worker uses ``task.run`` as
+        its gradient function — one sampling stream serves both the
+        serial and the replica-stacked execution paths, keeping them
+        bitwise interchangeable (see :mod:`repro.sim.grad`).
+        """
+        return None
 
 
 class DLProblem(Problem):
@@ -156,6 +168,17 @@ class DLProblem(Problem):
 
         return grad_fn
 
+    def make_grad_task(self, rng: np.random.Generator) -> "DLGradTask | None":
+        """The batchable counterpart of :meth:`make_grad_fn`.
+
+        Only the workspace path batches: without a workspace the closure
+        uses the unbuffered ``next_batch`` RNG pattern, which has no
+        staging seam. A None return simply means "serial closure only".
+        """
+        if not self.use_workspace:
+            return None
+        return DLGradTask(self, rng)
+
     def eval_loss(self, theta: np.ndarray) -> float:
         if not np.all(np.isfinite(theta)):
             return float("nan")
@@ -166,6 +189,56 @@ class DLProblem(Problem):
         if not np.all(np.isfinite(theta)):
             return float("nan")
         return self.network.accuracy(self.eval_x, self.eval_y, theta)
+
+
+class DLGradTask(GradTask):
+    """One worker's gradient stream over a :class:`DLProblem`, split
+    into a stageable sampling half and a compute half.
+
+    :meth:`run` performs exactly the work of the workspace-path closure
+    from :meth:`DLProblem.make_grad_fn` (same blocked index RNG, same
+    ``take`` gather, same in-place forward/backward), so a worker built
+    on a task is bitwise identical to one built on the closure.
+    :meth:`stage` draws only the indices, letting a
+    :class:`repro.nn.replica.ReplicaKernel` gather and compute many
+    replicas' batches in stacked kernel calls.
+    """
+
+    __slots__ = ("problem", "network", "batcher", "workspace", "x_buf", "y_buf", "stack_key")
+
+    def __init__(self, problem: DLProblem, rng: np.random.Generator) -> None:
+        self.problem = problem
+        self.network = problem.network
+        self.batcher = MiniBatcher(problem.train_x, problem.train_y, problem.batch_size, rng)
+        self.workspace = problem.network.make_workspace(
+            self.batcher.batch_size, dtype=problem.dtype
+        )
+        self.x_buf = np.empty(
+            (self.batcher.batch_size,) + problem.train_x.shape[1:],
+            dtype=problem.train_x.dtype,
+        )
+        self.y_buf = np.empty(self.batcher.batch_size, dtype=problem.train_y.dtype)
+        # Tasks sharing a key draw same-shape batches from the same
+        # corpus against the same network — the precondition for fusing
+        # their forward/backward passes into one stacked call.
+        self.stack_key = (id(problem), self.batcher.batch_size, np.dtype(problem.dtype))
+
+    def run(self, theta: np.ndarray, out: np.ndarray) -> None:
+        idx = self.batcher.next_batch_indices()
+        self.problem.train_x.take(idx, axis=0, out=self.x_buf)
+        self.problem.train_y.take(idx, axis=0, out=self.y_buf)
+        with np.errstate(over="ignore", invalid="ignore"):
+            self.network.loss_and_grad(
+                self.x_buf, self.y_buf, theta, grad_out=out, workspace=self.workspace
+            )
+
+    def stage(self) -> np.ndarray:
+        return self.batcher.next_batch_indices()
+
+    def make_kernel(self, kmax: int):
+        from repro.nn.replica import ReplicaKernel  # local import avoids a cycle
+
+        return ReplicaKernel.build(self, kmax)
 
 
 class SparseLogisticProblem(Problem):

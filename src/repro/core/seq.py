@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.base import Algorithm, SGDContext, WorkerHandle, register_algorithm
 from repro.core.parameter_vector import ParameterVector
 from repro.errors import ConfigurationError
+from repro.sim.grad import GradCompute
 from repro.sim.thread import SimThread
 
 
@@ -42,8 +43,7 @@ class SequentialSGD(Algorithm):
         probes = ctx.probes
         while True:
             probes.read_pinned(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
-            handle.grad_fn(param.theta, grad)
-            yield ctx.cost.tc
+            yield GradCompute(handle.grad_fn, param.theta, grad, ctx.cost.tc, handle.grad_task)
             probes.grad_done(ctx.scheduler.now, thread.tid, ctx.global_seq.load())
             param.update(grad, ctx.eta, scratch=scratch)
             yield ctx.cost.tu

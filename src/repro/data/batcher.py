@@ -118,6 +118,20 @@ class MiniBatcher:
         the RNG stream, though, so switching methods mid-stream on one
         instance diverges; each consumer picks one path and stays on it.
         """
+        idx = self.next_batch_indices()
+        self._x.take(idx, axis=0, out=x_out)
+        self._y.take(idx, axis=0, out=y_out)
+        return x_out, y_out
+
+    def next_batch_indices(self) -> np.ndarray:
+        """The next batch's sample indices from the blocked stream.
+
+        Consumes the RNG exactly as :meth:`next_batch_into` (it is that
+        method's index half), so a consumer may interleave the two
+        freely — the replica-stacked executor stages indices here and
+        gathers the samples itself. The returned array is a view into
+        the current block: use it before the next draw or copy it.
+        """
         block = self._idx_block
         if block is None or self._idx_pos >= block.shape[0]:
             block = self._idx_block = self._rng.integers(
@@ -126,9 +140,7 @@ class MiniBatcher:
             self._idx_pos = 0
         idx = block[self._idx_pos : self._idx_pos + self.batch_size]
         self._idx_pos += self.batch_size
-        self._x.take(idx, axis=0, out=x_out)
-        self._y.take(idx, axis=0, out=y_out)
-        return x_out, y_out
+        return idx
 
     @property
     def n_samples(self) -> int:

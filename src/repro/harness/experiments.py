@@ -82,12 +82,15 @@ def _sweep(
     epsilons: tuple[float, ...] | None = None,
     max_updates: int | None = None,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> list[RunResult]:
     """Run every (algorithm, m) cell ``repeats`` times.
 
     All cells × seeds are fanned out over one process pool when
-    ``workers`` (or ``REPRO_WORKERS``) asks for parallelism; the result
-    list is identical to the serial one either way."""
+    ``workers`` (or ``REPRO_WORKERS``) asks for parallelism, and each
+    cell's repeat seeds are batched into lockstep replica cohorts when
+    ``replicas`` (or ``REPRO_REPLICAS``) asks for vectorization; the
+    result list is identical to the serial one either way."""
     problem = workloads.problem(kind)
     cost = workloads.cost(kind)
     repeats = repeats or workloads.profile.repeats
@@ -102,7 +105,7 @@ def _sweep(
             if max_updates is not None:
                 cfg = replace(cfg, max_updates=max_updates)
             configs.extend(repeated_configs(cfg, repeats=repeats))
-    return map_runs(problem, cost, configs, workers=workers)
+    return map_runs(problem, cost, configs, workers=workers, replicas=replicas)
 
 
 # ----------------------------------------------------------------------
@@ -117,6 +120,7 @@ def s1_scalability(
     seed: int = 100,
     repeats: int | None = None,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     """Fig. 3: MLP 50%-convergence wall-clock time (left) and time per
     SGD iteration (right), under varying parallelism."""
@@ -132,6 +136,7 @@ def s1_scalability(
         repeats=repeats,
         epsilons=(0.75, 0.5),
         workers=workers,
+        replicas=replicas,
     )
     key = lambda r: f"{r.config.algorithm}/m={r.config.m}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -163,6 +168,7 @@ def s1_stepsize(
     seed: int = 200,
     repeats: int | None = None,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     """Fig. 8: 50%-convergence time vs step size (left) and statistical
     efficiency — iterations to 50% (right), MLP at m=16."""
@@ -180,7 +186,7 @@ def s1_stepsize(
                 target_epsilon=0.5,
             )
             configs.extend(repeated_configs(cfg, repeats=repeats))
-    runs = map_runs(problem, cost, configs, workers=workers)
+    runs = map_runs(problem, cost, configs, workers=workers, replicas=replicas)
     key = lambda r: f"{r.config.algorithm}/eta={r.config.eta:g}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
     stat_eff = statistical_efficiency_boxes(runs, 0.5, key=key)
@@ -214,12 +220,13 @@ def _precision_staleness_progress(
     repeats: int | None,
     fig_prefix: str,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     profile = workloads.profile
     epsilons = profile.mlp_epsilons if kind != "cnn" else profile.cnn_epsilons
     runs = _sweep(
         workloads, kind, algorithms, (m,), eta=eta, seed=seed, repeats=repeats,
-        epsilons=epsilons, workers=workers,
+        epsilons=epsilons, workers=workers, replicas=replicas,
     )
     sections = []
     per_eps = {}
@@ -286,13 +293,14 @@ def s2_high_precision(
     seed: int = 300,
     repeats: int | None = None,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     """S2 — Figs 4 (left), 5 (left), 6 (left): MLP high-precision
     convergence at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "mlp", m=m, eta=eta, algorithms=algorithms, seed=seed,
-        repeats=repeats, fig_prefix="S2/Fig4-6", workers=workers,
+        repeats=repeats, fig_prefix="S2/Fig4-6", workers=workers, replicas=replicas,
     )
 
 
@@ -305,12 +313,13 @@ def s3_cnn(
     seed: int = 400,
     repeats: int | None = None,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     """S3 — Fig 7: CNN convergence rate / progress / staleness at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "cnn", m=m, eta=eta, algorithms=algorithms, seed=seed,
-        repeats=repeats, fig_prefix="S3/Fig7", workers=workers,
+        repeats=repeats, fig_prefix="S3/Fig7", workers=workers, replicas=replicas,
     )
 
 
@@ -323,6 +332,7 @@ def s4_high_parallelism(
     seed: int = 500,
     repeats: int | None = None,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     """S4 — Figs 4-6 (middle/right): MLP stress test at m in {24,34,68}."""
     thread_counts = tuple(thread_counts or workloads.profile.high_parallelism)
@@ -331,7 +341,7 @@ def s4_high_parallelism(
         _precision_staleness_progress(
             workloads, "mlp", m=m, eta=eta, algorithms=algorithms,
             seed=seed + 10 * m, repeats=repeats, fig_prefix=f"S4/m={m}",
-            workers=workers,
+            workers=workers, replicas=replicas,
         )
         for m in thread_counts
     ]
@@ -358,6 +368,7 @@ def s5_memory(
     repeats: int = 1,
     max_updates: int = 400,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> ExperimentResult:
     """S5 — Fig 10: continuous memory measurement; Leashed-SGD's dynamic
     allocation vs the baselines' constant 2m+1 instances."""
@@ -370,6 +381,7 @@ def s5_memory(
             runs = _sweep(
                 workloads, kind, algorithms, (m,), eta=eta, seed=seed,
                 repeats=repeats, max_updates=max_updates, workers=workers,
+                replicas=replicas,
             )
             runs_all.extend(runs)
             base_mean = np.mean(

@@ -112,21 +112,24 @@ class SweepGrid:
         *,
         progress: Callable[[str], None] | None = None,
         workers: int | None = None,
+        replicas: int | None = None,
     ) -> list[RunResult]:
         """Execute the grid; returns all runs (repeats included).
 
         ``workers`` fans the whole sweep — every (cell, seed) pair at
         once, not cell-by-cell — over a process pool (default: serial,
-        or ``REPRO_WORKERS``). Result order and contents are identical
-        to the serial sweep.
+        or ``REPRO_WORKERS``); ``replicas`` batches each cell's repeats
+        into lockstep cohorts (default: 1, or ``REPRO_REPLICAS``).
+        Result order and contents are identical to the serial sweep.
         """
-        from repro.harness.parallel import map_runs, resolve_workers
+        from repro.harness.parallel import map_runs, resolve_replicas, resolve_workers
 
-        if resolve_workers(workers) > 1:
+        n_replicas = resolve_replicas(replicas)
+        if resolve_workers(workers, cohort_replicas=n_replicas) > 1 or n_replicas > 1:
             if progress is not None:
                 for algorithm, m, eta in self.cells():
                     progress(f"{algorithm} m={m} eta={eta:g}")
-            return map_runs(problem, cost, self.configs(), workers=workers)
+            return map_runs(problem, cost, self.configs(), workers=workers, replicas=n_replicas)
         results: list[RunResult] = []
         for algorithm, m, eta in self.cells():
             if progress is not None:

@@ -1,4 +1,4 @@
-"""Process-parallel experiment execution.
+"""Process-parallel and replica-batched experiment execution.
 
 The paper's protocol multiplies every configuration by 11 seeds and
 whole algorithm × thread-count grids; each of those runs is an
@@ -10,6 +10,12 @@ the list a serial loop would have produced (bitwise-identical results,
 since each ``run_once`` derives every RNG stream from its config's seed
 via :class:`repro.utils.rng.RngFactory`).
 
+Orthogonally to processes, **replica batching** groups same-shape
+configs (identical except for their seed) into lockstep cohorts of up
+to ``replicas`` runs that execute inside *one* process with stacked
+gradient kernels (:func:`repro.harness.runner.run_cohort`). The two
+compose: cohorts batch within a worker, chunks spread across workers.
+
 Worker-count resolution (:func:`resolve_workers`):
 
 * explicit ``workers`` argument wins (``-1`` means "all cores");
@@ -18,12 +24,19 @@ Worker-count resolution (:func:`resolve_workers`):
   never fork surprisingly;
 * the result is capped at ``os.cpu_count()`` (with a warning when the
   cap bites) — the simulations are CPU-bound, so oversubscription only
-  adds scheduling overhead.
+  adds scheduling overhead. In cohort mode the cap stays but the
+  warning is suppressed: a cohort is one OS process however many
+  replicas it advances, so a generous worker request is bounded by the
+  chunk count rather than a sign of oversubscription.
 
-``0``/``1`` mean serial. The pool is also skipped, with a serial
-fallback, when there is only one task, when the task payload cannot be
-pickled (e.g. a user-defined problem holding a lambda), or when the
-host cannot spawn processes at all.
+Replica-count resolution (:func:`resolve_replicas`) mirrors the worker
+rules with the ``REPRO_REPLICAS`` environment variable; ``0``/``1``
+mean "no batching".
+
+``0``/``1`` workers mean serial. The pool is also skipped, with a
+serial fallback, when there is only one task, when the task payload
+cannot be pickled (e.g. a user-defined problem holding a lambda), or
+when the host cannot spawn processes at all.
 
 Telemetry crosses the process boundary intact: ``RunConfig.probes``
 carries probe *names* (resolved inside each worker's ``run_once``), and
@@ -37,6 +50,7 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
+from dataclasses import replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
@@ -49,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+#: Environment variable consulted when no explicit replica count is given.
+REPLICAS_ENV = "REPRO_REPLICAS"
 
 # Per-process state for pool workers: the (problem, cost) pair is
 # shipped once per worker via the pool initializer instead of once per
@@ -57,7 +73,8 @@ WORKERS_ENV = "REPRO_WORKERS"
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(problem, cost) -> None:  # pragma: no cover - runs in subprocess
+def _init_worker(payload: bytes) -> None:  # pragma: no cover - runs in subprocess
+    problem, cost = pickle.loads(payload)
     _WORKER_STATE["problem"] = problem
     _WORKER_STATE["cost"] = cost
 
@@ -68,7 +85,13 @@ def _run_config(config):  # pragma: no cover - runs in subprocess
     return run_once(_WORKER_STATE["problem"], _WORKER_STATE["cost"], config)
 
 
-def resolve_workers(workers: int | None = None) -> int:
+def _run_cohort_chunk(configs):  # pragma: no cover - runs in subprocess
+    from repro.harness.runner import run_cohort
+
+    return run_cohort(_WORKER_STATE["problem"], _WORKER_STATE["cost"], configs)
+
+
+def resolve_workers(workers: int | None = None, *, cohort_replicas: int = 1) -> int:
     """Resolve an effective worker count (>= 1; 1 means serial).
 
     ``workers=None`` consults ``REPRO_WORKERS`` and defaults to serial;
@@ -78,6 +101,12 @@ def resolve_workers(workers: int | None = None) -> int:
     are CPU-bound simulations, so oversubscribing cores only adds
     context-switch and fork overhead — on a 1-core host a 2-worker pool
     was measured *slower* than the serial loop (speedup 0.71).
+
+    ``cohort_replicas`` marks the cohort-batched path: each worker is
+    still one OS process no matter how many lockstep replicas it
+    advances, so the cap applies as usual but silently — the caller's
+    worker request is a chunk-level fan-out bound, not a claim on
+    ``workers * replicas`` cores.
     """
     if workers is None:
         env = os.environ.get(WORKERS_ENV)
@@ -96,14 +125,66 @@ def resolve_workers(workers: int | None = None) -> int:
     if workers < -1:
         raise ConfigurationError(f"workers must be >= -1, got {workers}")
     if workers > n_cores:
-        warnings.warn(
-            f"requested {workers} workers on a {n_cores}-core host; "
-            f"capping at {n_cores} (oversubscription slows CPU-bound runs)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        if cohort_replicas <= 1:
+            warnings.warn(
+                f"requested {workers} workers on a {n_cores}-core host; "
+                f"capping at {n_cores} (oversubscription slows CPU-bound runs)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return n_cores
     return max(workers, 1)
+
+
+def resolve_replicas(replicas: int | None = None) -> int:
+    """Resolve an effective lockstep-cohort size (>= 1; 1 disables
+    batching).
+
+    ``replicas=None`` consults ``REPRO_REPLICAS`` and defaults to 1.
+    Unlike workers, replicas are *not* capped by the core count: a
+    cohort runs in one process, and its sweet spot (the paper protocol's
+    11 seeds) is a property of the workload, not the host.
+    """
+    if replicas is None:
+        env = os.environ.get(REPLICAS_ENV)
+        if env is None:
+            return 1
+        try:
+            replicas = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"{REPLICAS_ENV} must be an integer, got {env!r}"
+            ) from None
+    replicas = int(replicas)
+    if replicas < 0:
+        raise ConfigurationError(f"replicas must be >= 0, got {replicas}")
+    return max(replicas, 1)
+
+
+def plan_cohorts(configs: Sequence["RunConfig"], replicas: int) -> list[list[int]]:
+    """Group config *indices* into cohort chunks of at most ``replicas``.
+
+    Configs are cohort-compatible when they differ only in seed (the
+    repeated-seed protocol's shape); each compatibility group is chunked
+    in first-appearance order, so results scatter back into the caller's
+    ordering deterministically. Singleton chunks are fine — the runner
+    routes them through the plain serial path.
+    """
+    groups: dict = {}
+    order = []
+    for i, config in enumerate(configs):
+        key = replace(config, seed=0)
+        bucket = groups.get(key)
+        if bucket is None:
+            bucket = groups[key] = []
+            order.append(key)
+        bucket.append(i)
+    chunks: list[list[int]] = []
+    for key in order:
+        indices = groups[key]
+        for start in range(0, len(indices), replicas):
+            chunks.append(indices[start : start + replicas])
+    return chunks
 
 
 def _run_serial(problem, cost, configs) -> list:
@@ -112,35 +193,53 @@ def _run_serial(problem, cost, configs) -> list:
     return [run_once(problem, cost, config) for config in configs]
 
 
+def _pickle_payload(problem, cost) -> bytes | None:
+    """The worker-initializer payload, or None (with a warning) when it
+    cannot cross a process boundary. The pickled bytes are shipped to
+    every worker as-is — the (possibly tens-of-MB) problem graph is
+    traversed once here instead of once per worker."""
+    try:
+        # Pre-flight doubling as the shipment: a problem holding
+        # closures / generators (perfectly fine serially) cannot cross
+        # a process boundary.
+        return pickle.dumps((problem, cost))
+    except Exception as exc:
+        warnings.warn(
+            f"parallel run falling back to serial: payload not picklable ({exc})",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+
+
 def map_runs(
     problem: "Problem",
     cost: "CostModel",
     configs: Sequence["RunConfig"],
     *,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> list["RunResult"]:
-    """Execute ``run_once`` for every config, fanning out over processes.
+    """Execute every config, fanning out over processes and batching
+    same-shape configs into lockstep replica cohorts.
 
     Results come back in the order of ``configs`` and are identical to
-    a serial loop's, whatever the worker count. Falls back to serial
-    execution (with a warning) when the payload cannot be pickled or
-    the pool cannot be brought up; exceptions raised *inside* a
-    simulation propagate unchanged either way.
+    a serial loop's, whatever the worker count or replica grouping
+    (``wall_seconds`` excepted — wall time measures the execution
+    strategy, not the simulation). Falls back to serial execution (with
+    a warning) when the payload cannot be pickled or the pool cannot be
+    brought up; exceptions raised *inside* a simulation propagate
+    unchanged either way.
     """
-    n_workers = resolve_workers(workers)
     configs = list(configs)
+    n_replicas = resolve_replicas(replicas)
+    if n_replicas > 1 and len(configs) > 1:
+        return _map_runs_cohorts(problem, cost, configs, workers=workers, replicas=n_replicas)
+    n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(configs) <= 1:
         return _run_serial(problem, cost, configs)
-    try:
-        # Pre-flight: a problem holding closures / generators (perfectly
-        # fine serially) cannot cross a process boundary.
-        pickle.dumps((problem, cost))
-    except Exception as exc:
-        warnings.warn(
-            f"parallel run falling back to serial: payload not picklable ({exc})",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+    payload = _pickle_payload(problem, cost)
+    if payload is None:
         return _run_serial(problem, cost, configs)
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
@@ -149,7 +248,7 @@ def map_runs(
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(configs)),
             initializer=_init_worker,
-            initargs=(problem, cost),
+            initargs=(payload,),
         ) as pool:
             return list(pool.map(_run_config, configs))
     except (BrokenProcessPool, OSError) as exc:
@@ -161,13 +260,61 @@ def map_runs(
         return _run_serial(problem, cost, configs)
 
 
+def _map_runs_cohorts(
+    problem, cost, configs: list, *, workers: int | None, replicas: int
+) -> list:
+    """Cohort-batched :func:`map_runs`: chunks of same-shape configs run
+    in lockstep within a process, chunks fan out across processes."""
+    from repro.harness.runner import run_cohort
+
+    chunks = plan_cohorts(configs, replicas)
+    results: list = [None] * len(configs)
+
+    def _scatter(chunk: list[int], chunk_results: list) -> None:
+        for index, result in zip(chunk, chunk_results):
+            results[index] = result
+
+    def _serial_chunks() -> list:
+        for chunk in chunks:
+            _scatter(chunk, run_cohort(problem, cost, [configs[i] for i in chunk]))
+        return results
+
+    n_workers = resolve_workers(workers, cohort_replicas=replicas)
+    if n_workers <= 1 or len(chunks) <= 1:
+        return _serial_chunks()
+    payload = _pickle_payload(problem, cost)
+    if payload is None:
+        return _serial_chunks()
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    chunk_configs = [[configs[i] for i in chunk] for chunk in chunks]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(payload,),
+        ) as pool:
+            for chunk, chunk_results in zip(chunks, pool.map(_run_cohort_chunk, chunk_configs)):
+                _scatter(chunk, chunk_results)
+        return results
+    except (BrokenProcessPool, OSError) as exc:
+        warnings.warn(
+            f"parallel run falling back to serial: process pool failed ({exc})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return _serial_chunks()
+
+
 class ParallelRunner:
-    """A bound (problem, cost, workers) triple for repeated fan-outs.
+    """A bound (problem, cost, workers, replicas) tuple for repeated
+    fan-outs.
 
     Thin convenience over :func:`map_runs` for callers that sweep many
     config batches against one workload::
 
-        runner = ParallelRunner(problem, cost, workers=8)
+        runner = ParallelRunner(problem, cost, workers=8, replicas=11)
         results = runner.map(configs)
     """
 
@@ -177,14 +324,18 @@ class ParallelRunner:
         cost: "CostModel",
         *,
         workers: int | None = None,
+        replicas: int | None = None,
     ) -> None:
         self.problem = problem
         self.cost = cost
-        self.workers = resolve_workers(workers)
+        self.replicas = resolve_replicas(replicas)
+        self.workers = resolve_workers(workers, cohort_replicas=self.replicas)
 
     def map(self, configs: Sequence["RunConfig"]) -> list["RunResult"]:
         """Run every config; ordered, deterministic results."""
-        return map_runs(self.problem, self.cost, configs, workers=self.workers)
+        return map_runs(
+            self.problem, self.cost, configs, workers=self.workers, replicas=self.replicas
+        )
 
     def run_repeated(
         self, config: "RunConfig", *, repeats: int, seed_stride: int = 1_000

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.base import SGDContext, make_algorithm
+from repro.core.base import Algorithm, SGDContext, make_algorithm
 from repro.core.convergence import ConvergenceMonitor, ConvergenceReport, RunStatus
 from repro.core.problem import Problem
 from repro.harness.config import RunConfig
@@ -158,14 +158,30 @@ def default_eval_interval(cost: CostModel, m: int) -> float:
     return max(8.0 * per_update, 0.5 * cost.tc)
 
 
-def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
-    """Execute one configured run; deterministic given ``config.seed``.
+@dataclass
+class _PreparedRun:
+    """One fully wired run, paused just before its scheduler runs.
 
-    ``config.probes`` names pluggable probes (see
-    :data:`repro.telemetry.probes.PROBES`) attached to the run's bus;
-    probes observe without perturbing, so results are bitwise-identical
-    for any probe set.
+    :func:`run_once` prepares, runs, and finalizes one of these;
+    :func:`run_cohort` prepares several, drives their schedulers in
+    lockstep (:class:`repro.sim.replica.LockstepCohort`), and finalizes
+    each. Both paths build identical object graphs from identical RNG
+    streams, which is what makes their results interchangeable.
     """
+
+    config: RunConfig
+    scheduler: Scheduler
+    trace: TraceRecorder
+    memory: MemoryAccountant
+    arena: BufferArena | None
+    ctx: SGDContext
+    algorithm: Algorithm
+    monitor: ConvergenceMonitor
+    probes: tuple
+
+
+def _prepare_run(problem: Problem, cost: CostModel, config: RunConfig) -> _PreparedRun:
+    """Wire scheduler, probes, algorithm, workers, and monitor."""
     factory = RngFactory(config.seed)
     scheduler = Scheduler(
         factory.named("scheduler"),
@@ -214,30 +230,90 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
 
     algorithm.spawn_workers(ctx, config.m)
     scheduler.spawn("monitor", lambda thread: monitor.body())
+    return _PreparedRun(
+        config=config,
+        scheduler=scheduler,
+        trace=trace,
+        memory=memory,
+        arena=arena,
+        ctx=ctx,
+        algorithm=algorithm,
+        monitor=monitor,
+        probes=probes,
+    )
 
-    timer = WallTimer()
-    with timer:
-        scheduler.run()
+
+def _finalize_run(problem: Problem, prepared: _PreparedRun, wall_seconds: float) -> RunResult:
+    """Close a run's scheduler and assemble its :class:`RunResult`."""
+    scheduler = prepared.scheduler
+    config = prepared.config
     scheduler.close()
 
-    report = monitor.report
+    report = prepared.monitor.report
     # A report still RUNNING means the scheduler stopped before the
     # monitor classified the run (e.g. the event queue drained): the
     # harness halted it, not the algorithm's convergence behaviour.
     status = report.status if report.status is not RunStatus.RUNNING else RunStatus.STOPPED
-    theta_final = algorithm.snapshot_theta(ctx)
+    theta_final = prepared.algorithm.snapshot_theta(prepared.ctx)
     accuracy = problem.eval_accuracy(theta_final)
+    if prepared.arena is not None:
+        # Teardown trim: release the free-lists' high water and account
+        # for the parked buffers the run never re-used.
+        prepared.memory.record_pool_trim(prepared.arena.trim())
 
     metrics = collect_run_metrics(
-        trace,
-        memory,
+        prepared.trace,
+        prepared.memory,
         m=config.m,
         virtual_time=scheduler.now,
-        wall_seconds=timer.elapsed,
+        wall_seconds=wall_seconds,
         final_accuracy=accuracy,
-        probes=probes,
+        probes=prepared.probes,
     )
     return RunResult(config=config, status=status, report=report, metrics=metrics)
+
+
+def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
+    """Execute one configured run; deterministic given ``config.seed``.
+
+    ``config.probes`` names pluggable probes (see
+    :data:`repro.telemetry.probes.PROBES`) attached to the run's bus;
+    probes observe without perturbing, so results are bitwise-identical
+    for any probe set.
+    """
+    prepared = _prepare_run(problem, cost, config)
+    timer = WallTimer()
+    with timer:
+        prepared.scheduler.run()
+    return _finalize_run(problem, prepared, timer.elapsed)
+
+
+def run_cohort(problem: Problem, cost: CostModel, configs: list[RunConfig]) -> list[RunResult]:
+    """Execute several same-shape configs as one lockstep cohort.
+
+    The configs typically come from :func:`repeated_configs` — the same
+    workload and algorithm under different seeds. Each run keeps its own
+    scheduler, RNG streams, and model state; only the gradient
+    *arithmetic* is batched across replicas
+    (:class:`repro.nn.replica.ReplicaKernel`), so every result is
+    bitwise identical to its :func:`run_once` counterpart — except
+    ``wall_seconds``, which reports the shared cohort wall time (as with
+    process-parallel runs, wall time is an execution property, not a
+    simulation result). For the same reason a ``max_wall_seconds`` cap
+    applies to the cohort's shared wall clock rather than per replica.
+    """
+    if not configs:
+        return []
+    if len(configs) == 1:
+        return [run_once(problem, cost, configs[0])]
+    from repro.sim.replica import LockstepCohort  # local import avoids a cycle
+
+    prepared = [_prepare_run(problem, cost, config) for config in configs]
+    cohort = LockstepCohort([p.scheduler for p in prepared])
+    timer = WallTimer()
+    with timer:
+        cohort.run()
+    return [_finalize_run(problem, p, timer.elapsed) for p in prepared]
 
 
 def repeated_configs(
@@ -259,16 +335,21 @@ def run_repeated(
     repeats: int,
     seed_stride: int = 1_000,
     workers: int | None = None,
+    replicas: int | None = None,
 ) -> list[RunResult]:
     """Run ``repeats`` independent executions (seeds
     ``seed + i * seed_stride``), as the paper does 11 times per box.
 
     ``workers`` fans the repeats out over processes (default: serial,
-    or the ``REPRO_WORKERS`` environment variable; see
-    :mod:`repro.harness.parallel`). Results are returned in seed order
-    and are identical whatever the worker count.
+    or the ``REPRO_WORKERS`` environment variable); ``replicas`` groups
+    same-shape repeats into lockstep cohorts of up to that many replicas
+    with stacked gradient kernels (default: 1, or ``REPRO_REPLICAS``;
+    see :mod:`repro.harness.parallel`). The two compose — cohorts batch
+    *within* a worker process while configs spread *across* workers.
+    Results are returned in seed order and are identical whatever the
+    worker count or replica grouping.
     """
     from repro.harness.parallel import map_runs
 
     configs = repeated_configs(config, repeats=repeats, seed_stride=seed_stride)
-    return map_runs(problem, cost, configs, workers=workers)
+    return map_runs(problem, cost, configs, workers=workers, replicas=replicas)

@@ -1,0 +1,322 @@
+"""Replica-stacked gradient kernel.
+
+When :class:`repro.sim.replica.LockstepCohort` advances K replica
+simulations in lockstep, every round harvests up to K pending
+:class:`~repro.sim.grad.GradCompute` requests whose tasks share a
+``stack_key`` — same problem, same batch size, same dtype, and (because
+replicas differ only in seed) the same network. A :class:`ReplicaKernel`
+executes such a group as *stacked* NumPy calls over a replica axis
+instead of K interpreter round-trips through ``loss_and_grad``.
+
+Bitwise identity
+----------------
+The acceptance bar is that every replica's results are **bitwise
+identical** to its serial run, so the kernel only fuses operations whose
+stacked form performs the exact same floating-point work per replica:
+
+* **Elementwise ops stack freely.** ReLU forward/backward, the softmax
+  shift/exp/divide chain, and the gather are elementwise (or row-local)
+  — applying them to a ``(K*N, ...)`` block is the same arithmetic per
+  row as K separate ``(N, ...)`` calls.
+* **GEMMs stay per-replica.** Each replica has its own ``theta``, so
+  the dense matmuls loop over replicas, reading weight views through
+  each task's workspace — zero staging of ``theta`` or the gradient
+  (a fully stacked ``(K, d)`` staging path was measured slower than
+  serial; the wins are elsewhere).
+* **The first layer's input gradient is skipped.** The serial backward
+  computes layer 0's ``d loss / d input`` and discards it
+  (``Network.loss_and_grad`` never uses the final conduit); for the
+  paper's MLP this matmul is the single most expensive op in the whole
+  step, and skipping it changes no result.
+* **The loss scalar is skipped.** Worker bodies discard the return of
+  their gradient function; the kernel computes only the logits
+  gradient. (The ``picked``/``log`` reads in the serial loss do not
+  touch the logits buffer, so skipping them is bit-neutral.)
+* **Conv/pool layers fall back per replica.** Their forward/backward
+  run through each task's own serial workspace buffers — bitwise by
+  construction — while the surrounding dense/softmax stages still
+  batch.
+
+``build`` returns ``None`` whenever any precondition fails (unsupported
+layer kind, non-dense head, dtype mismatch between the corpus and the
+workspace); the cohort then simply executes that group serially.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ReplicaKernel"]
+
+#: Layer kinds the plan walker understands. Anything else (e.g. the
+#: stateful Dropout layer, whose shared RNG stream is order-sensitive)
+#: disables stacking for the whole network.
+_SUPPORTED_KINDS = frozenset({"dense", "relu", "flatten", "conv2d", "maxpool2d"})
+
+
+class ReplicaKernel:
+    """Stacked forward/backward executor for one ``stack_key``.
+
+    One kernel instance is shared by every task in a cohort with the
+    same key; it holds only per-problem state (corpus references, the
+    network, and its own ``(kmax, N, ...)`` stacking buffers), never
+    per-task state — per-task buffers (weight views, conv scratch) come
+    in through each :class:`~repro.core.problem.DLGradTask`.
+    """
+
+    @classmethod
+    def build(cls, task, kmax: int) -> "ReplicaKernel | None":
+        """A kernel for ``task``'s stack key, or None if unsupported."""
+        if kmax < 2:
+            return None  # nothing to stack
+        problem = task.problem
+        network = task.network
+        if np.dtype(problem.train_x.dtype) != task.workspace.dtype:
+            return None  # serial path would convert-copy the batch
+        kinds = [layer.kind for layer in network.layers]
+        if any(kind not in _SUPPORTED_KINDS for kind in kinds):
+            return None
+        if kinds[-1] != "dense":
+            return None  # softmax-CE fusion expects a dense logits head
+        return cls(task, kmax)
+
+    def __init__(self, task, kmax: int) -> None:
+        problem = task.problem
+        network = task.network
+        self.network = network
+        self.train_x = problem.train_x
+        self.train_y = problem.train_y
+        self.batch = task.batcher.batch_size
+        self.dtype = task.workspace.dtype
+        self.kmax = int(kmax)
+        n, km, dt = self.batch, self.kmax, self.dtype
+        in_shape = self.train_x.shape[1:]
+        # Stacked batch gather: one take() fills all replicas' batches.
+        self._x3 = np.empty((km, n) + in_shape, dtype=dt)
+        self._xflat = self._x3.reshape((km * n,) + in_shape)
+        self._idx = np.empty(km * n, dtype=np.intp)
+        self._y = np.empty(km * n, dtype=self.train_y.dtype)
+        self._rows = np.arange(km * n)
+        # (K*N, 1) row statistic for the softmax (max, then denominator).
+        self._rowstat = np.empty((km * n, 1), dtype=dt)
+
+        # --- plan: one step per layer, with stacked buffers where the
+        # activation conduit is stacked. ``stacked`` mirrors, at build
+        # time, exactly the conduit state the executor tracks at run
+        # time, so buffer shapes always match.
+        steps: list[tuple] = []
+        stacked = True  # the gathered input batch is stacked
+        for i, layer in enumerate(network.layers):
+            layer_in, _ = network.layer_shapes[i]
+            kind = layer.kind
+            if kind == "dense":
+                out3 = np.empty((km, n, layer.units), dtype=dt)
+                # Layer 0's input gradient is computed-and-discarded on
+                # the serial path; the kernel skips it outright.
+                gin3 = None if i == 0 else np.empty((km, n, layer_in[0]), dtype=dt)
+                # Stacked bias-gradient landing zone: one (k, units)
+                # reduction replaces k per-replica sums (same axis
+                # length, same accumulation order → bitwise identical),
+                # then each row is copied into that replica's gb view.
+                gb3 = np.empty((km, layer.units), dtype=dt)
+                steps.append(("dense", i, layer, out3, gin3, gb3))
+                stacked = True
+            elif kind == "relu":
+                if stacked:
+                    full = (km, n) + layer_in
+                    # dtype (not bool) masks: np.greater writes exact
+                    # 1.0/0.0, and x * 1.0f == x, x * 0.0f == ±0.0 —
+                    # bit-for-bit what the bool mask's promotion gives —
+                    # while skipping the bool→float convert per multiply.
+                    mask3 = np.empty(full, dtype=dt)
+                    out3 = np.empty(full, dtype=dt)
+                    steps.append(("relu_s", i, layer, mask3, out3))
+                else:
+                    steps.append(("perk", i, layer))
+            elif kind == "flatten":
+                steps.append(("flatten", i, layer, layer_in))
+            else:  # conv2d / maxpool2d: per-replica fallback
+                steps.append(("perk", i, layer))
+                stacked = False
+        self._steps = steps
+        n_layers = len(network.layers)
+        # Per-call records for the backward pass (conduits index
+        # uniformly: stacked[r] and per-k-list[r] both give replica r).
+        self._fwd_in: list = [None] * n_layers
+        self._caches: list = [None] * n_layers
+        self._logits = None
+
+    # ------------------------------------------------------------------
+    def execute(self, gcs: list) -> None:
+        """Run every request's gradient; stacked where profitable.
+
+        Falls back to per-request serial execution for singleton groups
+        and for any dtype the serial path would itself not run through
+        the workspace (keeping the fallback on the serial instruction
+        sequence).
+        """
+        k = len(gcs)
+        if k == 1 or k > self.kmax:
+            for gc in gcs:
+                gc.execute()
+            return
+        dt = self.dtype
+        for gc in gcs:
+            if gc.theta.dtype != dt or gc.out.dtype != dt:
+                for g in gcs:
+                    g.execute()
+                return
+        tasks = [gc.task for gc in gcs]
+        n = self.batch
+        kn = k * n
+        # Stage every replica's batch indices (each from its own RNG
+        # stream, in replica order — the draws a serial run would make).
+        idx = self._idx[:kn]
+        pos = 0
+        for task in tasks:
+            idx[pos : pos + n] = task.stage()
+            pos += n
+        self.train_x.take(idx, axis=0, out=self._xflat[:kn])
+        self.train_y.take(idx, axis=0, out=self._y[:kn])
+        network = self.network
+        params = [
+            task.workspace.cached_views(gc.theta, network._all_param_views)
+            for task, gc in zip(tasks, gcs)
+        ]
+        grads = [
+            task.workspace.cached_views(gc.out, network._all_param_views)
+            for task, gc in zip(tasks, gcs)
+        ]
+        with np.errstate(over="ignore", invalid="ignore"):
+            self._forward(k, tasks, params)
+            self._softmax_ce(k)
+            self._backward(k, tasks, params, grads)
+        for gc in gcs:
+            if gc.post is not None:
+                gc.post()
+
+    # ------------------------------------------------------------------
+    def _forward(self, k: int, tasks: list, params: list) -> None:
+        fwd_in = self._fwd_in
+        caches = self._caches
+        cur = self._x3
+        stacked = True
+        for step in self._steps:
+            tag = step[0]
+            if tag == "dense":
+                _, i, _layer, out3, _gin3, _gb3 = step
+                fwd_in[i] = cur
+                for r in range(k):
+                    W, b = params[r][i]
+                    np.matmul(cur[r], W, out=out3[r])
+                    out3[r] += b
+                cur, stacked = out3, True
+            elif tag == "relu_s":
+                _, _i, _layer, mask3, out3 = step
+                ck = cur[:k]
+                np.greater(ck, 0, out=mask3[:k])
+                np.multiply(ck, mask3[:k], out=out3[:k])
+                cur, stacked = out3, True
+            elif tag == "flatten":
+                _, i, _layer, _in_shape = step
+                fwd_in[i] = cur
+                if stacked:
+                    # Contiguous stacked conduit: one zero-copy reshape.
+                    cur = cur.reshape(cur.shape[0], cur.shape[1], -1)
+                else:
+                    cur = [cur[r].reshape(self.batch, -1) for r in range(k)]
+            else:  # perk
+                _, i, layer = step
+                fwd_in[i] = cur
+                outs = []
+                layer_caches = []
+                for r in range(k):
+                    out, cache = layer.forward(
+                        cur[r], params[r][i], ws=tasks[r].workspace.per_layer[i]
+                    )
+                    outs.append(out)
+                    layer_caches.append(cache)
+                caches[i] = layer_caches
+                cur, stacked = outs, False
+        self._logits = cur  # stacked (last layer is dense)
+
+    def _softmax_ce(self, k: int) -> None:
+        """In-place softmax cross-entropy gradient over the stacked
+        logits — the op sequence of ``softmax_cross_entropy_inplace``
+        applied to all replicas' rows at once (each row's arithmetic is
+        independent, so per-replica slices are bitwise identical), minus
+        the loss scalar the workers discard."""
+        n = self.batch
+        kn = k * n
+        lg = self._logits[:k].reshape(kn, -1)
+        stat = self._rowstat[:kn]
+        lg.max(axis=1, keepdims=True, out=stat)
+        np.subtract(lg, stat, out=lg)  # shifted
+        np.exp(lg, out=lg)  # exp
+        lg.sum(axis=1, keepdims=True, out=stat)  # denom
+        lg /= stat  # dlogits
+        lg[self._rows[:kn], self._y[:kn]] -= 1.0
+        lg /= n  # mean over each replica's own batch
+        self._logits = None
+
+    def _backward(self, k: int, tasks: list, params: list, grads: list) -> None:
+        fwd_in = self._fwd_in
+        caches = self._caches
+        # The gradient conduit starts at the last dense layer's stacked
+        # output buffer, which _softmax_ce turned into dlogits in place.
+        g = self._steps[-1][3]
+        gstacked = True
+        for step in reversed(self._steps):
+            tag = step[0]
+            if tag == "dense":
+                _, i, _layer, _out3, gin3, gb3 = step
+                x_in = fwd_in[i]
+                # One stacked reduction over the batch axis for every
+                # replica's bias gradient (bitwise-identical to the
+                # per-replica sums), copied out to each gb view below.
+                g[:k].sum(axis=1, out=gb3[:k])
+                for r in range(k):
+                    W = params[r][i][0]
+                    gW, gb = grads[r][i]
+                    gr = g[r]
+                    np.matmul(x_in[r].T, gr, out=gW)
+                    gb[...] = gb3[r]
+                    if gin3 is not None:
+                        np.matmul(gr, W.T, out=gin3[r])
+                if gin3 is None:
+                    return  # layer 0: serial discards the input gradient
+                g, gstacked = gin3, True
+            elif tag == "relu_s":
+                _, _i, _layer, mask3, _out3 = step
+                if gstacked:
+                    np.multiply(g[:k], mask3[:k], out=g[:k])
+                else:
+                    for r in range(k):
+                        np.multiply(g[r], mask3[r], out=g[r])
+            elif tag == "flatten":
+                _, _i, _layer, in_shape = step
+                if gstacked:
+                    g = g.reshape((g.shape[0], self.batch) + in_shape)
+                else:
+                    g = [g[r].reshape((self.batch,) + in_shape) for r in range(k)]
+            else:  # perk
+                _, i, layer = step
+                layer_caches = caches[i]
+                outs = []
+                for r in range(k):
+                    outs.append(
+                        layer.backward(
+                            g[r],
+                            layer_caches[r],
+                            params[r][i],
+                            grads[r][i],
+                            ws=tasks[r].workspace.per_layer[i],
+                        )
+                    )
+                g, gstacked = outs, False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetics
+        return (
+            f"ReplicaKernel({self.network.name!r}, kmax={self.kmax}, "
+            f"batch={self.batch}, dtype={self.dtype.name})"
+        )

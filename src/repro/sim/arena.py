@@ -70,6 +70,8 @@ class BufferArena:
         #: Buffers released back (parked or dropped past the cap).
         self.released = 0
         self.dropped = 0
+        #: Parked buffers evicted by :meth:`trim`.
+        self.trimmed = 0
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -130,12 +132,41 @@ class BufferArena:
             "misses": self.misses,
             "released": self.released,
             "dropped": self.dropped,
+            "trimmed": self.trimmed,
             "parked": self.parked,
             "hit_rate": self.hit_rate,
         }
 
+    def trim(self, keep_per_key: int = 0) -> int:
+        """Bound each free list's high water to ``keep_per_key`` parked
+        buffers, dropping the excess to the allocator.
+
+        Within one run the free lists never exceed the run's own peak
+        concurrent-buffer count, but a long-lived arena (the harness's
+        end-of-run teardown, or callers re-using an arena across phases
+        with shrinking working sets) accumulates the *historical* high
+        water. ``trim`` releases it; the eviction count is returned and
+        tallied in :attr:`trimmed` (reported through the
+        :class:`repro.sim.memory.MemoryAccountant` as ``pool_trimmed``).
+        """
+        if keep_per_key < 0:
+            raise SimulationError(f"keep_per_key must be >= 0, got {keep_per_key}")
+        evicted = 0
+        for key, free in list(self._free.items()):
+            excess = len(free) - keep_per_key
+            if excess > 0:
+                del free[keep_per_key:]
+                evicted += excess
+            if not free:
+                del self._free[key]
+        self.trimmed += evicted
+        return evicted
+
     def clear(self) -> None:
-        """Drop every parked buffer (tests / end-of-run teardown)."""
+        """Drop every parked buffer (tests / end-of-run teardown).
+
+        Unlike :meth:`trim` this is not accounted — it resets the pool
+        without touching the counters."""
         self._free.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

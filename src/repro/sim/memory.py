@@ -58,6 +58,9 @@ class MemoryAccountant:
         # check to prove the steady-state step is allocation-free.
         self.pool_hits = 0
         self.pool_misses = 0
+        # Parked arena buffers evicted by BufferArena.trim at teardown
+        # (or by an explicit high-water trim mid-run).
+        self.pool_trimmed = 0
         # Algorithm-1 reclamation decisions observed via the probe bus
         # (a replaced vector marked stale and handed to the reader-count
         # scheme); the matching free() lands when the last reader leaves.
@@ -105,6 +108,12 @@ class MemoryAccountant:
             self.pool_hits += 1
         else:
             self.pool_misses += 1
+
+    def record_pool_trim(self, count: int) -> None:
+        """Tally ``count`` parked buffers evicted by an arena trim."""
+        if count < 0:
+            raise MemoryAccountingError(f"trim count must be >= 0, got {count!r}")
+        self.pool_trimmed += count
 
     @property
     def pool_hit_rate(self) -> float:

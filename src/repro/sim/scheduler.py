@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.clock import VirtualClock
+from repro.sim.grad import GradCompute
 from repro.sim.sync import AcquireRequest, BarrierRequest
 from repro.sim.thread import SimThread, ThreadState
 
@@ -105,6 +106,17 @@ class Scheduler:
         self._tiebreak_idx = 0
         self._jitters: list[float] = []
         self._jitter_idx = 0
+        # Cohort (lockstep-replica) mode: GradCompute requests park for
+        # batched execution instead of running inline, so an external
+        # driver can stack them across replica schedulers (see
+        # repro.sim.replica). Each entry is (thread, request, scheduled):
+        # deferrable requests schedule their thread's continuation
+        # immediately (scheduled=True) and the loop keeps running;
+        # non-deferrable ones pause the loop and are rescheduled by
+        # resume_after_grads().
+        self._cohort = False
+        self._pending_grads: list[tuple[SimThread, GradCompute, bool]] = []
+        self._pending_tids: set[int] = set()
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +137,55 @@ class Scheduler:
     def stop(self) -> None:
         """Request the run loop to terminate after the current event."""
         self._stopped = True
+
+    # -- cohort (lockstep-replica) mode --------------------------------
+    def enable_cohort_mode(self) -> None:
+        """Make :meth:`run` park GradCompute requests instead of
+        executing them inline. Used by
+        :class:`repro.sim.replica.LockstepCohort` to harvest batchable
+        gradient work across replica schedulers; a serial scheduler
+        never parks."""
+        self._cohort = True
+
+    @property
+    def pending_grads(self) -> list[tuple[SimThread, GradCompute]]:
+        """Parked ``(thread, request)`` pairs, in yield order.
+
+        Deferrable requests accumulate while the loop keeps running;
+        the loop pauses either at a non-deferrable request or when the
+        next event belongs to a thread with an unexecuted gradient.
+        """
+        return [(thread, request) for thread, request, _ in self._pending_grads]
+
+    def resume_after_grads(self) -> None:
+        """Clear the parked requests after the cohort executed them.
+
+        Deferred requests' threads were already rescheduled when they
+        parked; a trailing non-deferrable request's thread is
+        rescheduled here. Both orders consume the scheduler RNG exactly
+        as the serial inline path does: one jitter draw (when enabled
+        and the duration is positive), then one tiebreak draw, at the
+        same point of the stream.
+        """
+        if not self._pending_grads:
+            raise SimulationError("resume_after_grads without a pending gradient")
+        for thread, request, scheduled in self._pending_grads:
+            if not scheduled:
+                self._schedule_after(thread, request.duration)
+        self._pending_grads.clear()
+        self._pending_tids.clear()
+
+    def discard_pending_grads(self) -> None:
+        """Drop parked requests without executing them (end of run).
+
+        When the monitor stops a replica while gradients are in flight,
+        the serial run *would* have executed them — into buffers whose
+        contents nothing ever observes again. Dropping the host-side
+        work changes no observable result and avoids touching buffers
+        during teardown.
+        """
+        self._pending_grads.clear()
+        self._pending_tids.clear()
 
     # -- fault injection ----------------------------------------------
     def suspend_after(self, thread: SimThread, time: float) -> None:
@@ -200,6 +261,22 @@ class Scheduler:
         self._blocked_count -= 1
         self._schedule(thread, self.now + delay)
 
+    def _schedule_after(self, thread: SimThread, duration: float) -> None:
+        """Schedule ``thread`` ``duration`` virtual seconds from now,
+        drawing jitter-then-tiebreak — the exact RNG order of the
+        plain-duration fast path in :meth:`run`."""
+        if duration < 0:
+            raise SimulationError(
+                f"thread {thread.name!r} yielded a negative duration {duration!r}"
+            )
+        d = duration * thread.speed_factor
+        if self.config.jitter_sigma > 0 and d > 0:
+            d *= self._next_jitter_factor()
+        thread.state = ThreadState.READY
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (self.clock.now + d, self._next_tiebreak(), seq, thread))
+
     def _jitter(self, duration: float, thread: SimThread) -> float:
         if duration < 0:
             raise SimulationError(f"thread {thread.name!r} yielded a negative duration {duration!r}")
@@ -230,6 +307,7 @@ class Scheduler:
         max_events = self.config.max_events
         jitter_on = self.config.jitter_sigma > 0
         suspend_after = self._suspend_after
+        pending_tids = self._pending_tids
         events = self._events_processed
         try:
             while queue and not self._stopped:
@@ -247,9 +325,17 @@ class Scheduler:
                     heappush(queue, entry)
                     clock.advance_to(until)
                     return
+                thread = entry[3]
+                if pending_tids and thread.tid in pending_tids:
+                    # The next event belongs to a thread whose deferred
+                    # gradient has not been executed yet: pause for the
+                    # cohort round. The entry goes back unchanged (same
+                    # time/tiebreak/seq → same heap position) and is
+                    # re-popped after the round.
+                    heappush(queue, entry)
+                    break
                 clock.advance_to(at)
                 events += 1
-                thread = entry[3]
                 if suspend_after:
                     deadline = suspend_after.get(thread.tid)
                     if deadline is not None and at >= deadline:
@@ -286,6 +372,28 @@ class Scheduler:
                     seq = self._seq
                     self._seq = seq + 1
                     heappush(queue, (clock.now + d, block[i], seq, thread))
+                elif isinstance(yielded, GradCompute):
+                    if self._cohort:
+                        # Park the request for the cohort driver, which
+                        # executes it (possibly stacked with other
+                        # replicas') and calls resume_after_grads().
+                        if yielded.deferrable:
+                            # Schedule the continuation now — the exact
+                            # RNG draws of the serial path — and keep
+                            # processing other threads' events, so one
+                            # round harvests every in-flight gradient.
+                            self._pending_grads.append((thread, yielded, True))
+                            pending_tids.add(thread.tid)
+                            self._schedule_after(thread, yielded.duration)
+                            continue
+                        self._pending_grads.append((thread, yielded, False))
+                        break
+                    # Serial: run the gradient now, at the instant the
+                    # worker yielded — exactly when the old inline call
+                    # happened — then reschedule after its duration
+                    # (jitter draw then tiebreak draw, as above).
+                    yielded.execute()
+                    self._schedule_after(thread, yielded.duration)
                 elif isinstance(yielded, AcquireRequest):
                     granted = yielded.lock._on_acquire(thread, self)
                     if granted:
@@ -305,7 +413,12 @@ class Scheduler:
                     )
         finally:
             self._events_processed = events
-        if not queue and self._blocked_count > 0 and not self._stopped:
+        if (
+            not queue
+            and self._blocked_count > 0
+            and not self._stopped
+            and not self._pending_grads
+        ):
             blocked = [t.name for t in self._threads if t.state is ThreadState.BLOCKED]
             raise DeadlockError(f"all runnable threads exhausted; blocked: {blocked}")
 

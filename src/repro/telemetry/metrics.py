@@ -32,6 +32,7 @@ Keys (schema v1); probe results live under ``probes.<name>``:
 ``peak_pv_bytes``     peak live simulated bytes
 ``mean_pv_bytes``     time-weighted mean live bytes
 ``pool_hits/misses``  arena recycling tallies
+``pool_trimmed``      parked arena buffers evicted by high-water trims
 ``reclaim_events``    Algorithm-1 reclamation decisions observed
 ``memory_timeline``   sampled (times, bytes, count) arrays
 ``retry_occupancy``   sampled LAU-SPC occupancy step function
@@ -109,6 +110,7 @@ def collect_run_metrics(
         "mean_pv_bytes": memory.mean_live_bytes(),
         "pool_hits": memory.pool_hits,
         "pool_misses": memory.pool_misses,
+        "pool_trimmed": getattr(memory, "pool_trimmed", 0),
         "reclaim_events": getattr(memory, "reclaim_events", 0),
         "memory_timeline": memory.timeline(resolution=100),
         "retry_occupancy": trace.retry_loop_occupancy(resolution=100),

@@ -102,3 +102,39 @@ class TestMiniBatcher:
     def test_n_samples(self, dataset):
         b = MiniBatcher(dataset.as_flat(), dataset.labels, 4, np.random.default_rng(0))
         assert b.n_samples == 20
+
+
+class TestBlockedIndexStream:
+    """next_batch_indices / next_batch_into: the blocked index stream
+    used by the replica-stacked gradient kernel."""
+
+    def test_indices_match_into_gather(self, dataset):
+        flat = dataset.as_flat()
+        b1 = MiniBatcher(flat, dataset.labels, 4, np.random.default_rng(9))
+        b2 = MiniBatcher(flat, dataset.labels, 4, np.random.default_rng(9))
+        x_out = np.empty((4, flat.shape[1]), dtype=flat.dtype)
+        y_out = np.empty(4, dtype=dataset.labels.dtype)
+        for _ in range(5):
+            idx = b1.next_batch_indices()
+            x, y = b2.next_batch_into(x_out, y_out)
+            np.testing.assert_array_equal(flat[idx], x)
+            np.testing.assert_array_equal(dataset.labels[idx], y)
+
+    def test_blocked_stream_matches_per_call_draws(self, dataset):
+        """One block draw equals the concatenation of per-batch draws
+        from the same seed (bounded integer sampling is element-wise)."""
+        flat = dataset.as_flat()
+        blocked = MiniBatcher(flat, dataset.labels, 4, np.random.default_rng(3))
+        percall = MiniBatcher(flat, dataset.labels, 4, np.random.default_rng(3))
+        for _ in range(MiniBatcher._INDEX_BLOCK_BATCHES + 2):  # cross a refill
+            idx = blocked.next_batch_indices()
+            x, y = percall.next_batch()
+            np.testing.assert_array_equal(flat[idx], x)
+            np.testing.assert_array_equal(dataset.labels[idx], y)
+
+    def test_indices_are_a_view_into_the_block(self, dataset):
+        """The documented caveat: returned indices alias the internal
+        block — use before the next draw or copy."""
+        b = MiniBatcher(dataset.as_flat(), dataset.labels, 4, np.random.default_rng(1))
+        first = b.next_batch_indices()
+        assert np.shares_memory(first, b._idx_block)

@@ -197,3 +197,55 @@ class TestLemma2WithPooling:
         )
         np.testing.assert_array_equal(plain.final_theta(), poisoned.final_theta())
         assert np.isfinite(plain.final_theta()).all()
+
+
+class TestTrim:
+    def test_trim_drops_parked_buffers(self):
+        arena = BufferArena()
+        bufs = [arena.acquire(64) for _ in range(4)]
+        for buf in bufs:
+            arena.release(buf)
+        assert arena.parked == 4
+        assert arena.trim() == 4
+        assert arena.parked == 0
+        assert arena.trimmed == 4
+
+    def test_keep_per_key_bounds_each_free_list(self):
+        arena = BufferArena()
+        for size in (32, 64):
+            bufs = [arena.acquire(size) for _ in range(3)]
+            for buf in bufs:
+                arena.release(buf)
+        assert arena.trim(keep_per_key=1) == 4
+        assert arena.parked == 2
+
+    def test_trim_empty_arena_is_noop(self):
+        arena = BufferArena()
+        assert arena.trim() == 0
+        assert arena.trimmed == 0
+
+    def test_negative_keep_rejected(self):
+        with pytest.raises(SimulationError):
+            BufferArena().trim(keep_per_key=-1)
+
+    def test_trim_counts_in_stats(self):
+        arena = BufferArena()
+        arena.release(arena.acquire(16))
+        arena.trim()
+        assert arena.stats()["trimmed"] == 1
+
+    def test_trimmed_keys_reallocate_fresh(self):
+        arena = BufferArena()
+        buf = arena.acquire(16)
+        arena.release(buf)
+        arena.trim()
+        again = arena.acquire(16)
+        assert again is not buf  # the parked buffer really was dropped
+        assert arena.misses == 2
+
+    def test_clear_is_unaccounted(self):
+        arena = BufferArena()
+        arena.release(arena.acquire(16))
+        arena.clear()
+        assert arena.parked == 0
+        assert arena.trimmed == 0

@@ -108,3 +108,18 @@ class TestTimeline:
 
     def test_mean_live_bytes_empty(self, acct):
         assert acct.mean_live_bytes() == 0.0
+
+
+class TestPoolTrimAccounting:
+    def test_record_pool_trim_tallies(self, acct):
+        acct.record_pool_trim(3)
+        acct.record_pool_trim(2)
+        assert acct.pool_trimmed == 5
+
+    def test_zero_is_fine(self, acct):
+        acct.record_pool_trim(0)
+        assert acct.pool_trimmed == 0
+
+    def test_negative_rejected(self, acct):
+        with pytest.raises(MemoryAccountingError):
+            acct.record_pool_trim(-1)

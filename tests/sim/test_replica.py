@@ -1,0 +1,313 @@
+"""Tests for the replica-vectorized lockstep engine.
+
+Covers the scheduler's cohort mode (deferred multi-grad harvesting),
+the :class:`~repro.sim.replica.LockstepCohort` round loop, the
+:class:`~repro.nn.replica.ReplicaKernel` build guards, and — the
+acceptance bar — bitwise identity between ``run_cohort`` and the serial
+``run_once`` path across algorithms, architectures, and cohort sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.problem import DLProblem
+from repro.errors import SimulationError
+from repro.harness.config import RunConfig
+from repro.harness.runner import repeated_configs, run_cohort, run_once
+from repro.nn.architectures import mlp_custom
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Network
+from repro.nn.replica import ReplicaKernel
+from repro.sim.cost import CostModel
+from repro.sim.grad import GradCompute
+from repro.sim.replica import LockstepCohort
+from repro.sim.scheduler import Scheduler, SchedulerConfig
+
+
+# ---------------------------------------------------------------------------
+# Tiny problems: small enough that the full identity matrix runs in
+# seconds, structured enough to exercise the stacked (MLP) and the
+# partial-fallback (CNN conv/pool) kernel paths.
+
+
+def tiny_mlp_problem() -> DLProblem:
+    rng = np.random.default_rng(42)
+    net = mlp_custom(12, (10, 8), 4, name="tiny_mlp")
+    x = rng.normal(size=(96, 12)).astype(np.float32)
+    y = rng.integers(0, 4, size=96)
+    return DLProblem(net, x, y, x[:24], y[:24], batch_size=6, dtype=np.float32)
+
+
+def tiny_cnn_problem() -> DLProblem:
+    rng = np.random.default_rng(43)
+    net = Network(
+        [Conv2D(2, (3, 3)), ReLU(), MaxPool2D((2, 2)), Flatten(), Dense(8), ReLU(), Dense(3)],
+        input_shape=(1, 8, 8),
+        name="tiny_cnn",
+    )
+    x = rng.normal(size=(48, 1, 8, 8)).astype(np.float32)
+    y = rng.integers(0, 3, size=48)
+    return DLProblem(net, x, y, x[:12], y[:12], batch_size=4, dtype=np.float32)
+
+
+COST = CostModel(tc=5e-3, tu=1e-3, t_copy=5e-4)
+
+
+def make_configs(algorithm: str, replicas: int, *, max_updates: int = 24,
+                 m: int = 3, eta: float = 0.05) -> list[RunConfig]:
+    base = RunConfig(
+        algorithm=algorithm,
+        m=1 if algorithm == "SEQ" else m,
+        eta=eta,
+        seed=5,
+        epsilons=(1e-9,),
+        eval_interval=10 * (COST.tc + COST.tu),
+        max_updates=max_updates,
+        max_virtual_time=1e18,
+    )
+    return repeated_configs(base, repeats=replicas)
+
+
+def identity_of(result):
+    """Everything a run result pins down, minus wall time (an execution
+    property, not a simulation result)."""
+    return (
+        result.n_updates,
+        float(result.virtual_time),
+        float(result.report.final_loss),
+        result.status.value,
+    )
+
+
+# ---------------------------------------------------------------------------
+class TestBitwiseIdentity:
+    """run_cohort == K x run_once, bit for bit."""
+
+    @pytest.mark.parametrize("algorithm", ["SEQ", "ASYNC", "HOG", "LSH_ps1"])
+    @pytest.mark.parametrize("replicas", [1, 3, 11])
+    def test_mlp(self, algorithm, replicas):
+        problem = tiny_mlp_problem()
+        configs = make_configs(algorithm, replicas)
+        serial = [identity_of(run_once(problem, COST, c)) for c in configs]
+        cohort = [identity_of(r) for r in run_cohort(problem, COST, configs)]
+        assert serial == cohort
+
+    @pytest.mark.parametrize("algorithm", ["SEQ", "ASYNC", "HOG", "LSH_ps1"])
+    @pytest.mark.parametrize("replicas", [3, 11])
+    def test_cnn(self, algorithm, replicas):
+        problem = tiny_cnn_problem()
+        configs = make_configs(algorithm, replicas, max_updates=10)
+        serial = [identity_of(run_once(problem, COST, c)) for c in configs]
+        cohort = [identity_of(r) for r in run_cohort(problem, COST, configs)]
+        assert serial == cohort
+
+    def test_early_stopping_replica(self):
+        """A replica hitting its stop condition early drops out of the
+        cohort while the survivors keep batching — results unchanged."""
+        problem = tiny_mlp_problem()
+        # Tight monitor interval: the update cap is only enforced at
+        # monitor events, so stops land close to the configured caps.
+        configs = [
+            replace(c, eval_interval=(COST.tc + COST.tu) / 2)
+            for c in make_configs("LSH_ps1", 3)
+        ]
+        configs[1] = replace(configs[1], max_updates=6)
+        serial = [identity_of(run_once(problem, COST, c)) for c in configs]
+        cohort = [identity_of(r) for r in run_cohort(problem, COST, configs)]
+        assert serial == cohort
+        assert cohort[1][0] < cohort[0][0]
+
+    def test_diverging_replicas(self):
+        """Destructive step size: replicas DIVERGE at seed-dependent
+        times; the cohort must reproduce each serial outcome exactly."""
+        problem = tiny_mlp_problem()
+        configs = make_configs("LSH_ps1", 3, eta=60.0, max_updates=200)
+        serial = [run_once(problem, COST, c) for c in configs]
+        cohort = run_cohort(problem, COST, configs)
+        assert [identity_of(r) for r in serial] == [identity_of(r) for r in cohort]
+
+    def test_multi_grad_harvest_stacks_beyond_k(self, monkeypatch):
+        """With m workers whose compute windows overlap, rounds harvest
+        close to K*m gradients, not K."""
+        problem = tiny_mlp_problem()
+        configs = make_configs("LSH_ps1", 4, m=4, max_updates=30)
+        group_sizes: list[int] = []
+        orig = ReplicaKernel.execute
+
+        def spy(self, gcs):
+            group_sizes.append(len(gcs))
+            return orig(self, gcs)
+
+        monkeypatch.setattr(ReplicaKernel, "execute", spy)
+        run_cohort(problem, COST, configs)
+        assert group_sizes, "kernel never invoked"
+        assert max(group_sizes) > len(configs)
+
+
+# ---------------------------------------------------------------------------
+class TestSchedulerCohortMode:
+    """The deferred-harvest machinery at the scheduler level."""
+
+    @staticmethod
+    def _grad_body(thread, log, name, steps=2, deferrable=True):
+        theta = np.zeros(1)
+        out = np.zeros(1)
+
+        def body():
+            for i in range(steps):
+                yield GradCompute(
+                    lambda th, o, name=name, i=i: log.append((name, i)),
+                    theta, out, 1.0, deferrable=deferrable,
+                )
+                yield 0.5
+        return body()
+
+    def _scheduler(self):
+        return Scheduler(
+            np.random.default_rng(0), SchedulerConfig(jitter_sigma=0.0,
+                                                      speed_spread_sigma=0.0)
+        )
+
+    def test_deferrable_requests_harvest_together(self):
+        log: list = []
+        s = self._scheduler()
+        s.enable_cohort_mode()
+        for name in ("a", "b"):
+            s.spawn(name, lambda t, n=name: self._grad_body(t, log, n))
+        s.run()
+        # Both workers' first gradients parked before either executed.
+        assert [r.fn is not None for _t, r in s.pending_grads] == [True, True]
+        assert log == []
+
+    def test_resume_after_grads_continues_run(self):
+        log: list = []
+        s = self._scheduler()
+        s.enable_cohort_mode()
+        for name in ("a", "b"):
+            s.spawn(name, lambda t, n=name: self._grad_body(t, log, n))
+        while True:
+            s.run()
+            pending = s.pending_grads
+            if not pending:
+                break
+            for _thread, request in pending:
+                request.execute()
+            s.resume_after_grads()
+        assert sorted(log) == [("a", 0), ("a", 1), ("b", 0), ("b", 1)]
+
+    def test_non_deferrable_pauses_immediately(self):
+        log: list = []
+        s = self._scheduler()
+        s.enable_cohort_mode()
+        for name in ("a", "b"):
+            s.spawn(
+                name, lambda t, n=name: self._grad_body(t, log, n, deferrable=False)
+            )
+        s.run()
+        # The loop pauses at the first non-deferrable request: exactly
+        # one parked, the other worker untouched.
+        assert len(s.pending_grads) == 1
+
+    def test_serial_mode_ignores_deferrable(self):
+        log: list = []
+        s = self._scheduler()  # cohort mode NOT enabled
+        s.spawn("a", lambda t: self._grad_body(t, log, "a"))
+        s.run()
+        assert log == [("a", 0), ("a", 1)]
+
+    def test_resume_without_pending_raises(self):
+        s = self._scheduler()
+        s.enable_cohort_mode()
+        with pytest.raises(SimulationError):
+            s.resume_after_grads()
+
+    def test_discard_pending_grads(self):
+        log: list = []
+        s = self._scheduler()
+        s.enable_cohort_mode()
+        s.spawn("a", lambda t: self._grad_body(t, log, "a", steps=1))
+        s.run()
+        assert s.pending_grads
+        s.discard_pending_grads()
+        assert not s.pending_grads
+        s.run()  # continuation proceeds; the dropped fn never ran
+        assert log == []
+
+
+# ---------------------------------------------------------------------------
+class TestReplicaKernelBuild:
+    def _task(self, problem):
+        task = problem.make_grad_task(np.random.default_rng(0))
+        assert task is not None
+        return task
+
+    def test_builds_for_supported_mlp(self):
+        task = self._task(tiny_mlp_problem())
+        kernel = ReplicaKernel.build(task, 4)
+        assert kernel is not None
+        assert kernel.kmax == 4
+
+    def test_kmax_below_two_unsupported(self):
+        task = self._task(tiny_mlp_problem())
+        assert ReplicaKernel.build(task, 1) is None
+
+    def test_dtype_mismatch_unsupported(self):
+        rng = np.random.default_rng(0)
+        net = mlp_custom(6, (5,), 3)
+        x = rng.normal(size=(32, 6)).astype(np.float32)
+        y = rng.integers(0, 3, size=32)
+        # float64 workspace over a float32 corpus: the serial path would
+        # convert-copy, so stacking is declined.
+        problem = DLProblem(net, x, y, x[:8], y[:8], batch_size=4, dtype=np.float64)
+        task = self._task(problem)
+        assert ReplicaKernel.build(task, 4) is None
+
+    def test_singleton_group_falls_back_serially(self):
+        problem = tiny_mlp_problem()
+        task = self._task(problem)
+        kernel = ReplicaKernel.build(task, 4)
+        theta = problem.init_theta(np.random.default_rng(1))
+        out = np.empty_like(theta)
+        ref = np.empty_like(theta)
+        gc = GradCompute(task.run, theta, out, 1.0, task)
+        kernel.execute([gc])
+        # Same RNG position -> same batch: fresh task, serial execution.
+        task2 = problem.make_grad_task(np.random.default_rng(0))
+        task2.run(theta, ref)
+        np.testing.assert_array_equal(out, ref)
+
+
+# ---------------------------------------------------------------------------
+class TestLockstepCohort:
+    def test_round_counters(self):
+        problem = tiny_mlp_problem()
+        configs = make_configs("LSH_ps1", 3, max_updates=12)
+        from repro.harness.runner import _prepare_run
+
+        prepared = [_prepare_run(problem, COST, c) for c in configs]
+        cohort = LockstepCohort([p.scheduler for p in prepared])
+        cohort.run()
+        assert cohort.rounds > 0
+        assert cohort.stacked_calls > 0
+        for p in prepared:
+            p.scheduler.close()
+
+    def test_closure_only_gradients_execute_serially(self):
+        """Cohort mode with tasks that cannot stack (QuadraticProblem
+        has no grad task) still runs correctly — requests execute
+        one-by-one inside each round."""
+        from repro.core.problem import QuadraticProblem
+
+        problem = QuadraticProblem(16, h=1.0, b=1.0, noise_sigma=0.05)
+        base = RunConfig(
+            algorithm="LSH_ps1", m=2, eta=0.05, seed=3, epsilons=(0.5,),
+            max_updates=40, max_virtual_time=30.0,
+        )
+        configs = repeated_configs(base, repeats=3)
+        serial = [identity_of(run_once(problem, COST, c)) for c in configs]
+        cohort = [identity_of(r) for r in run_cohort(problem, COST, configs)]
+        assert serial == cohort

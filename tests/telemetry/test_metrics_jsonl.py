@@ -27,7 +27,7 @@ SCHEMA_V1_KEYS = {
     "virtual_time", "wall_seconds", "n_updates", "n_dropped",
     "cas_failure_rate", "mean_lock_wait", "staleness", "staleness_values",
     "updates_per_thread", "peak_pv_count", "peak_pv_bytes", "mean_pv_bytes",
-    "pool_hits", "pool_misses", "reclaim_events", "memory_timeline",
+    "pool_hits", "pool_misses", "pool_trimmed", "reclaim_events", "memory_timeline",
     "retry_occupancy", "final_accuracy", "probes",
 }
 
