@@ -209,12 +209,15 @@ def main(argv=None) -> int:
           f"({harness['workers']} workers, {harness['parallel_speedup']:.2f}x, "
           f"identical={harness['bitwise_identical']})")
 
+    from repro.observe.provenance import bench_manifest
+
     payload = {
         "mode": args.mode,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": sys.version.split()[0],
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "provenance": bench_manifest(),
         "engine": {
             "workload": f"{threads} threads x {steps} steps, jitter+tiebreak on",
             "current_events_per_sec": round(current, 1),

@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Benchmark for the self-profiler's observation cost.
+
+The span profiler (``repro.observe.profiler``) instruments the
+scheduler loop, cohort rounds, stacked kernels, and the arena — all hot
+paths. Its contract is two-sided:
+
+1. **Disabled** (the default), the instrumentation must be free in the
+   only sense that matters — the prebound no-op's ``start``/``stop``
+   never read a clock, so a run with ``self_profile=False`` is the same
+   simulation it always was (the neutrality *test* proves bitwise
+   identity; this benchmark measures the residual call overhead is in
+   the noise).
+2. **Enabled**, the observation cost must stay small: this benchmark
+   measures Leashed-SGD steps/sec with ``self_profile`` off vs on and
+   records the fractional overhead into ``BENCH_profile.json``. The
+   acceptance bar is < 5% on the MLP workload.
+
+Either way the two runs must be *bitwise identical* (``n_updates``,
+``virtual_time``, final loss): the profiler reads wall clocks, never
+simulation state.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_profile.py
+    PYTHONPATH=src python scripts/bench_profile.py --mode smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.problem import DLProblem
+from repro.data.synthetic_mnist import generate_synthetic_mnist
+from repro.harness.config import RunConfig
+from repro.harness.runner import run_once
+from repro.nn.architectures import cnn_mnist, mlp_mnist
+from repro.observe.provenance import bench_manifest
+from repro.sim.cost import CostModel
+
+#: (name, architecture, batch size, workers m, max updates) — the same
+#: shapes bench_step.py measures, so the numbers are comparable.
+WORKLOADS = [
+    ("mlp_b8_m4", "mlp", 8, 4, 300),
+    ("cnn_b8_m4", "cnn", 8, 4, 120),
+]
+#: Acceptance bar: profiler-on must stay within 5% of profiler-off.
+MAX_OVERHEAD = 0.05
+
+
+def build_problem(arch: str, batch: int):
+    corpus = generate_synthetic_mnist(n_train=2048, n_eval=64, seed=2021)
+    if arch == "mlp":
+        net, xs, xe = mlp_mnist(), corpus.train.as_flat(), corpus.eval.as_flat()
+    else:
+        net, xs, xe = cnn_mnist(), corpus.train.as_images(), corpus.eval.as_images()
+    problem = DLProblem(
+        net, xs, corpus.train.labels, xe, corpus.eval.labels, batch_size=batch
+    )
+    cost = CostModel.mlp_default() if arch == "mlp" else CostModel.cnn_default()
+    return problem, cost
+
+
+def build_config(m: int, max_updates: int, cost: CostModel, *, self_profile: bool):
+    return RunConfig(
+        algorithm="LSH_ps1",
+        m=m,
+        eta=0.01,
+        seed=7,
+        epsilons=(1e-6,),
+        eval_interval=150 * (cost.tc + cost.tu) / m,
+        max_updates=max_updates,
+        max_virtual_time=1e18,
+        self_profile=self_profile,
+    )
+
+
+def measure(problem, cost, config, reps: int):
+    """Best-of-``reps`` steps/sec plus the run's identity triple."""
+    best = 0.0
+    for _ in range(reps):
+        t0 = time.process_time()
+        result = run_once(problem, cost, config)
+        elapsed = time.process_time() - t0
+        best = max(best, result.n_updates / elapsed)
+    identity = (
+        result.n_updates,
+        float(result.virtual_time),
+        float(result.report.final_loss),
+    )
+    return best, identity, result
+
+
+def bench_workload(workload, reps: int) -> dict:
+    name, arch, batch, m, updates = workload
+    problem, cost = build_problem(arch, batch)
+    off, id_off, _ = measure(
+        problem, cost, build_config(m, updates, cost, self_profile=False), reps
+    )
+    on, id_on, result_on = measure(
+        problem, cost, build_config(m, updates, cost, self_profile=True), reps
+    )
+    top_spans = dict(list(result_on.profile.items())[:4])
+    return {
+        "workload": name,
+        "off_steps_per_sec": round(off, 1),
+        "on_steps_per_sec": round(on, 1),
+        "overhead_frac": round(max(0.0, 1.0 - on / off), 4),
+        "bitwise_identical": id_off == id_on,
+        "n_updates": id_off[0],
+        "top_spans": {
+            k: {"count": v["count"], "total_s": round(v["total_s"], 6)}
+            for k, v in top_spans.items()
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mode", choices=("full", "smoke"), default="full")
+    parser.add_argument("--smoke", action="store_true", help="alias for --mode smoke")
+    parser.add_argument("--reps", type=int, default=3,
+                        help="runs per measurement (best-of)")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+    mode = "smoke" if args.smoke else args.mode
+
+    payload = {
+        "mode": mode,
+        "max_overhead": MAX_OVERHEAD,
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "provenance": bench_manifest(),
+        "workloads": [],
+    }
+
+    if mode == "smoke":
+        workloads, reps = [("mlp_b8_m4_smoke", "mlp", 8, 2, 40)], 1
+    else:
+        workloads, reps = WORKLOADS, args.reps
+
+    ok = True
+    for workload in workloads:
+        row = bench_workload(workload, reps)
+        payload["workloads"].append(row)
+        print(f"  {row['workload']}: off {row['off_steps_per_sec']} -> "
+              f"on {row['on_steps_per_sec']} steps/s "
+              f"(overhead {row['overhead_frac']:.1%}, "
+              f"bitwise_identical={row['bitwise_identical']})")
+        if not row["bitwise_identical"]:
+            print(f"FAIL: {row['workload']} diverged under profiling", file=sys.stderr)
+            ok = False
+        # Overhead gates only the full MLP run: smoke runs are too short
+        # to measure, and the CNN's per-step kernel dwarfs the spans.
+        if mode == "full" and row["workload"] == "mlp_b8_m4" \
+                and row["overhead_frac"] > MAX_OVERHEAD:
+            print(f"FAIL: {row['workload']} overhead {row['overhead_frac']:.1%} "
+                  f"> {MAX_OVERHEAD:.0%}", file=sys.stderr)
+            ok = False
+
+    if mode == "smoke":
+        return 0 if ok else 1
+
+    out_path = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_profile.json"
+    )
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

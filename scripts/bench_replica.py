@@ -171,12 +171,15 @@ def main() -> int:
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args()
 
+    from repro.observe.provenance import bench_manifest
+
     payload = {
         "mode": "smoke" if args.smoke else "full",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": ".".join(map(str, sys.version_info[:3])),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "provenance": bench_manifest(),
         "workloads": [],
     }
 

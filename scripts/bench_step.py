@@ -214,12 +214,15 @@ def main() -> int:
         return 0
     mode = "smoke" if args.smoke else args.mode
 
+    from repro.observe.provenance import bench_manifest
+
     payload = {
         "mode": mode,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": ".".join(map(str, sys.version_info[:3])),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "provenance": bench_manifest(),
     }
 
     if mode == "smoke":

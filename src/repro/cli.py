@@ -18,6 +18,14 @@ Commands
     validation measurements (occupancy vs n*/n*_gamma, the eq.-6
     staleness split, phase breakdown, CAS contention); optionally
     export/import JSONL and gate on Cor. 3.2 with ``--smoke``.
+``trace``
+    Record one run's per-thread execution timeline and export it as
+    Chrome-trace JSON (open in Perfetto / ``chrome://tracing``), with
+    an optional pure-SVG swimlane fallback.
+``bench-history``
+    Merge the ``BENCH_*.json`` headline numbers into a trajectory file
+    and exit nonzero when the current numbers regress past the previous
+    recorded entry (the CI performance gate).
 
 Examples
 --------
@@ -26,6 +34,8 @@ Examples
     python -m repro calibrate
     python -m repro analyze --algorithm LSH_ps1 --m 8 --jsonl runs.jsonl
     python -m repro analyze --smoke --tolerance 0.5
+    python -m repro trace --algorithm LSH_psinf --m 4 --out trace.json --svg trace.svg
+    python -m repro bench-history --record --label "$(git rev-parse --short HEAD)"
 """
 
 from __future__ import annotations
@@ -60,6 +70,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stop threshold as a fraction of the initial loss")
     run_p.add_argument("--json", default=None, metavar="PATH",
                        help="archive the RunResult as JSON")
+    run_p.add_argument("--self-profile", action="store_true",
+                       help="time the harness's own hot spots (scheduler loop, "
+                            "kernels, arena) and print the span profile")
 
     exp_p = sub.add_parser("experiment", help="run a paper experiment step")
     exp_p.add_argument("step", choices=("s1", "s1-eta", "s2", "s3", "s4", "s5"))
@@ -71,6 +84,46 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="lockstep replica cohort size: batch each cell's "
                             "repeat seeds into stacked kernels (default: "
                             "REPRO_REPLICAS or 1)")
+    exp_p.add_argument("--no-progress", action="store_true",
+                       help="suppress the live progress heartbeat on stderr")
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="record one run's execution timeline and export it as "
+             "Chrome-trace JSON (open in Perfetto / chrome://tracing)",
+    )
+    trace_p.add_argument("--algorithm", default="LSH_psinf",
+                         help="SEQ | ASYNC | HOG | SYNC | LSH_ps<k> | LSH_psinf")
+    trace_p.add_argument("--m", type=int, default=4, help="worker threads")
+    trace_p.add_argument("--eta", type=float, default=None, help="step size")
+    trace_p.add_argument("--workload", default="quadratic",
+                         choices=("quadratic", "mlp", "cnn"))
+    trace_p.add_argument("--seed", type=int, default=0)
+    trace_p.add_argument("--profile", default=None, choices=(None, "quick", "paper"))
+    trace_p.add_argument("--max-updates", type=int, default=None,
+                         help="cap the run length (traces grow with updates)")
+    trace_p.add_argument("--out", default="trace.json", metavar="PATH",
+                         help="chrome-trace JSON output path")
+    trace_p.add_argument("--svg", default=None, metavar="PATH",
+                         help="also render the no-browser SVG swimlane chart")
+
+    hist_p = sub.add_parser(
+        "bench-history",
+        help="merge BENCH_*.json headlines into a trajectory and gate on "
+             "regressions vs the previous entry",
+    )
+    hist_p.add_argument("--bench-dir", default=".", metavar="DIR",
+                        help="directory holding the BENCH_*.json files")
+    hist_p.add_argument("--history", default=None, metavar="PATH",
+                        help="trajectory JSONL (default: <bench-dir>/BENCH_history.jsonl)")
+    hist_p.add_argument("--max-drop", type=float, default=None, metavar="FRAC",
+                        help="regression threshold as a fractional drop (default 0.15)")
+    hist_p.add_argument("--record", action="store_true",
+                        help="append the current headlines to the trajectory")
+    hist_p.add_argument("--label", default="", metavar="TEXT",
+                        help="label for the recorded entry (e.g. a git SHA)")
+    hist_p.add_argument("--report", default=None, metavar="PATH",
+                        help="write the markdown trajectory report here")
 
     sub.add_parser("table1", help="print the paper's Table I")
     sub.add_parser("calibrate", help="measure real kernel times (Fig 9)")
@@ -159,6 +212,7 @@ def _cmd_run(args) -> int:
         max_updates=profile.max_updates,
         max_virtual_time=profile.max_virtual_time,
         max_wall_seconds=profile.max_wall_seconds,
+        self_profile=args.self_profile,
     )
     result = run_once(problem, cost, config)
     rows = [
@@ -186,6 +240,22 @@ def _cmd_run(args) -> int:
             title=f"{args.algorithm} on {args.workload}, m={args.m}, eta={eta:g}, seed={args.seed}",
         )
     )
+    phases = result.wall_phases
+    print(render_table(
+        ["phase", "wall s"],
+        [[name, f"{seconds:.4g}"] for name, seconds in phases.items()],
+        title="wall-time split",
+    ))
+    if args.self_profile and result.profile:
+        print(render_table(
+            ["span", "calls", "total s", "mean us", "max us"],
+            [
+                [name, s["count"], f"{s['total_s']:.4g}",
+                 f"{s['mean_s'] * 1e6:.2f}", f"{s['max_s'] * 1e6:.2f}"]
+                for name, s in result.profile.items()
+            ],
+            title="self-profile (harness wall clock, not simulated time)",
+        ))
     if args.json:
         from repro.utils.serialization import save_results
 
@@ -196,6 +266,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro.harness import experiments as exp
+    from repro.harness.progress import ProgressReporter
 
     workloads = Workloads(get_profile(args.profile))
     fn = {
@@ -206,8 +277,102 @@ def _cmd_experiment(args) -> int:
         "s4": exp.s4_high_parallelism,
         "s5": exp.s5_memory,
     }[args.step]
-    result = fn(workloads, workers=args.workers, replicas=args.replicas)
+    if args.no_progress:
+        result = fn(workloads, workers=args.workers, replicas=args.replicas)
+    else:
+        with ProgressReporter() as heartbeat:
+            result = fn(
+                workloads, workers=args.workers, replicas=args.replicas,
+                progress=heartbeat,
+            )
     print(result)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.observe.timeline import export_chrome_trace, validate_chrome_trace
+
+    workloads = Workloads(get_profile(args.profile))
+    problem = workloads.problem(args.workload)
+    cost = workloads.cost(args.workload)
+    profile = workloads.profile
+    epsilons = (
+        profile.mlp_epsilons if args.workload == "mlp"
+        else profile.cnn_epsilons if args.workload == "cnn"
+        else (0.5, 0.1)
+    )
+    eta = args.eta if args.eta is not None else (
+        profile.default_eta if args.workload in ("mlp", "cnn") else 0.05
+    )
+    config = RunConfig(
+        algorithm=args.algorithm,
+        m=args.m,
+        eta=eta,
+        seed=args.seed,
+        epsilons=epsilons,
+        target_epsilon=min(epsilons),
+        max_updates=args.max_updates or profile.max_updates,
+        max_virtual_time=profile.max_virtual_time,
+        max_wall_seconds=profile.max_wall_seconds,
+        probes=("timeline",),
+    )
+    result = run_once(problem, cost, config)
+    timeline = result.metrics.probe("timeline")
+    path = export_chrome_trace(timeline, args.out)
+    summary = validate_chrome_trace(timeline)
+    print(f"wrote {path} — {summary['n_events']} events on "
+          f"{summary['n_tracks']} tracks ({summary['n_spans']} spans, "
+          f"{summary['n_instants']} instants); status {result.status.value}")
+    if timeline.get("truncated"):
+        print("note: trace hit the event cap and was truncated")
+    if args.svg:
+        from repro.viz.timeline import save_timeline_svg
+
+        svg_path = save_timeline_svg(timeline, args.svg)
+        print(f"wrote {svg_path}")
+    return 0
+
+
+def _cmd_bench_history(args) -> int:
+    from repro.observe.bench_history import (
+        DEFAULT_HISTORY,
+        DEFAULT_MAX_DROP,
+        append_history,
+        check_regressions,
+        extract_headlines,
+        load_history,
+        render_report,
+        unrecognized_bench_files,
+    )
+
+    bench_dir = args.bench_dir
+    history_path = args.history or f"{bench_dir.rstrip('/')}/{DEFAULT_HISTORY}"
+    max_drop = args.max_drop if args.max_drop is not None else DEFAULT_MAX_DROP
+    current = extract_headlines(bench_dir)
+    if not current:
+        print(f"bench-history: no recognized BENCH_*.json under {bench_dir}")
+        return 1
+    for name in unrecognized_bench_files(bench_dir):
+        print(f"bench-history: note — no extractor for {name}; skipped")
+    history = load_history(history_path)
+    previous = history[-1]["metrics"] if history else {}
+    regressions = check_regressions(current, previous, max_drop=max_drop)
+    report = render_report(history, current, regressions, max_drop=max_drop)
+    print(report)
+    if args.report:
+        from pathlib import Path
+
+        out = Path(args.report)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report + "\n")
+        print(f"\nwrote {out}")
+    if args.record:
+        path = append_history(history_path, current, label=args.label)
+        print(f"recorded {len(current)} metrics to {path}")
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+        return 1
     return 0
 
 
@@ -257,11 +422,34 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def _print_provenance(row: dict) -> None:
+    """One compact header line per run identifying where the record came
+    from. Tolerant of rows from other schema versions: unknown fields
+    are ignored, known ones are rendered when present."""
+    manifest = row.get("provenance") or {}
+    if not isinstance(manifest, dict) or not manifest:
+        return
+    parts = []
+    sha = manifest.get("git_sha")
+    if sha and sha != "unknown":
+        parts.append(f"git {str(sha)[:12]}{'+dirty' if manifest.get('git_dirty') else ''}")
+    for key, prefix in (
+        ("config_hash", "config "), ("python", "py "), ("numpy", "numpy "),
+        ("hostname", "host "), ("cpu_count", "cores "),
+    ):
+        value = manifest.get(key)
+        if value not in (None, ""):
+            parts.append(f"{prefix}{value}")
+    if parts:
+        print(f"provenance: {' | '.join(parts)}")
+
+
 def _print_analysis(row: dict) -> None:
     """Render one flat run row's probe measurements as tables."""
     config = row.get("config", {})
     label = (f"{config.get('algorithm', '?')} m={config.get('m', '?')} "
              f"eta={config.get('eta', '?')} seed={config.get('seed', '?')}")
+    _print_provenance(row)
     rows = [
         ["status", row.get("status", "?")],
         ["updates published", row.get("n_updates", "?")],
@@ -438,6 +626,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "bench-history":
+        return _cmd_bench_history(args)
     if args.command == "table1":
         return _cmd_table1()
     if args.command == "calibrate":

@@ -16,6 +16,11 @@ class ConfigurationError(ReproError):
     """An experiment / algorithm / model was configured inconsistently."""
 
 
+class SchemaVersionError(ConfigurationError):
+    """A serialized results row was written under a schema version this
+    build cannot read (missing, or newer than the code understands)."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an invalid internal state."""
 

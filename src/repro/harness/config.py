@@ -89,6 +89,13 @@ class RunConfig:
     #: by ``run_once``. Probes observe without perturbing: results are
     #: bitwise-identical for any probe set.
     probes: tuple[str, ...] = ()
+    #: Opt into the engine self-profiler (:mod:`repro.observe.profiler`):
+    #: wall-clock span timings of the scheduler loop, cohort rounds,
+    #: stacked kernels and arena traffic land in
+    #: ``RunMetrics["profile"]``. Off by default; like the probes it
+    #: observes host time only and never perturbs the simulation, so
+    #: profiled runs are bitwise-identical to unprofiled ones.
+    self_profile: bool = False
 
     def __post_init__(self) -> None:
         check_positive("m", self.m)

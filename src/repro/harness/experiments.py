@@ -83,6 +83,7 @@ def _sweep(
     max_updates: int | None = None,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> list[RunResult]:
     """Run every (algorithm, m) cell ``repeats`` times.
 
@@ -105,7 +106,9 @@ def _sweep(
             if max_updates is not None:
                 cfg = replace(cfg, max_updates=max_updates)
             configs.extend(repeated_configs(cfg, repeats=repeats))
-    return map_runs(problem, cost, configs, workers=workers, replicas=replicas)
+    return map_runs(
+        problem, cost, configs, workers=workers, replicas=replicas, progress=progress
+    )
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +124,7 @@ def s1_scalability(
     repeats: int | None = None,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 3: MLP 50%-convergence wall-clock time (left) and time per
     SGD iteration (right), under varying parallelism."""
@@ -137,6 +141,7 @@ def s1_scalability(
         epsilons=(0.75, 0.5),
         workers=workers,
         replicas=replicas,
+        progress=progress,
     )
     key = lambda r: f"{r.config.algorithm}/m={r.config.m}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -169,6 +174,7 @@ def s1_stepsize(
     repeats: int | None = None,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     """Fig. 8: 50%-convergence time vs step size (left) and statistical
     efficiency — iterations to 50% (right), MLP at m=16."""
@@ -186,7 +192,9 @@ def s1_stepsize(
                 target_epsilon=0.5,
             )
             configs.extend(repeated_configs(cfg, repeats=repeats))
-    runs = map_runs(problem, cost, configs, workers=workers, replicas=replicas)
+    runs = map_runs(
+        problem, cost, configs, workers=workers, replicas=replicas, progress=progress
+    )
     key = lambda r: f"{r.config.algorithm}/eta={r.config.eta:g}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
     stat_eff = statistical_efficiency_boxes(runs, 0.5, key=key)
@@ -221,12 +229,13 @@ def _precision_staleness_progress(
     fig_prefix: str,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     profile = workloads.profile
     epsilons = profile.mlp_epsilons if kind != "cnn" else profile.cnn_epsilons
     runs = _sweep(
         workloads, kind, algorithms, (m,), eta=eta, seed=seed, repeats=repeats,
-        epsilons=epsilons, workers=workers, replicas=replicas,
+        epsilons=epsilons, workers=workers, replicas=replicas, progress=progress,
     )
     sections = []
     per_eps = {}
@@ -294,6 +303,7 @@ def s2_high_precision(
     repeats: int | None = None,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     """S2 — Figs 4 (left), 5 (left), 6 (left): MLP high-precision
     convergence at m=16."""
@@ -301,6 +311,7 @@ def s2_high_precision(
     return _precision_staleness_progress(
         workloads, "mlp", m=m, eta=eta, algorithms=algorithms, seed=seed,
         repeats=repeats, fig_prefix="S2/Fig4-6", workers=workers, replicas=replicas,
+        progress=progress,
     )
 
 
@@ -314,12 +325,14 @@ def s3_cnn(
     repeats: int | None = None,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     """S3 — Fig 7: CNN convergence rate / progress / staleness at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "cnn", m=m, eta=eta, algorithms=algorithms, seed=seed,
         repeats=repeats, fig_prefix="S3/Fig7", workers=workers, replicas=replicas,
+        progress=progress,
     )
 
 
@@ -333,6 +346,7 @@ def s4_high_parallelism(
     repeats: int | None = None,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     """S4 — Figs 4-6 (middle/right): MLP stress test at m in {24,34,68}."""
     thread_counts = tuple(thread_counts or workloads.profile.high_parallelism)
@@ -341,7 +355,7 @@ def s4_high_parallelism(
         _precision_staleness_progress(
             workloads, "mlp", m=m, eta=eta, algorithms=algorithms,
             seed=seed + 10 * m, repeats=repeats, fig_prefix=f"S4/m={m}",
-            workers=workers, replicas=replicas,
+            workers=workers, replicas=replicas, progress=progress,
         )
         for m in thread_counts
     ]
@@ -369,6 +383,7 @@ def s5_memory(
     max_updates: int = 400,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> ExperimentResult:
     """S5 — Fig 10: continuous memory measurement; Leashed-SGD's dynamic
     allocation vs the baselines' constant 2m+1 instances."""
@@ -381,7 +396,7 @@ def s5_memory(
             runs = _sweep(
                 workloads, kind, algorithms, (m,), eta=eta, seed=seed,
                 repeats=repeats, max_updates=max_updates, workers=workers,
-                replicas=replicas,
+                replicas=replicas, progress=progress,
             )
             runs_all.extend(runs)
             base_mean = np.mean(

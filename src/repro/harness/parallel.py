@@ -187,10 +187,20 @@ def plan_cohorts(configs: Sequence["RunConfig"], replicas: int) -> list[list[int
     return chunks
 
 
-def _run_serial(problem, cost, configs) -> list:
+def _label(config) -> str:
+    """The heartbeat label for a just-finished run."""
+    return f"{config.algorithm}/m={config.m}/seed={config.seed}"
+
+
+def _run_serial(problem, cost, configs, progress=None) -> list:
     from repro.harness.runner import run_once
 
-    return [run_once(problem, cost, config) for config in configs]
+    results = []
+    for config in configs:
+        results.append(run_once(problem, cost, config))
+        if progress is not None:
+            progress(len(results), len(configs), _label(config))
+    return results
 
 
 def _pickle_payload(problem, cost) -> bytes | None:
@@ -219,6 +229,7 @@ def map_runs(
     *,
     workers: int | None = None,
     replicas: int | None = None,
+    progress=None,
 ) -> list["RunResult"]:
     """Execute every config, fanning out over processes and batching
     same-shape configs into lockstep replica cohorts.
@@ -230,49 +241,77 @@ def map_runs(
     a warning) when the payload cannot be pickled or the pool cannot be
     brought up; exceptions raised *inside* a simulation propagate
     unchanged either way.
+
+    ``progress`` is an optional heartbeat callback invoked as
+    ``progress(done, total, label)`` in the parent process after every
+    completed run (or cohort chunk), in *completion* order — see
+    :class:`repro.harness.progress.ProgressReporter`. It observes the
+    sweep without participating in it: results are identical with or
+    without the callback.
     """
     configs = list(configs)
     n_replicas = resolve_replicas(replicas)
     if n_replicas > 1 and len(configs) > 1:
-        return _map_runs_cohorts(problem, cost, configs, workers=workers, replicas=n_replicas)
+        return _map_runs_cohorts(
+            problem, cost, configs, workers=workers, replicas=n_replicas, progress=progress
+        )
     n_workers = resolve_workers(workers)
     if n_workers <= 1 or len(configs) <= 1:
-        return _run_serial(problem, cost, configs)
+        return _run_serial(problem, cost, configs, progress)
     payload = _pickle_payload(problem, cost)
     if payload is None:
-        return _run_serial(problem, cost, configs)
-    from concurrent.futures import ProcessPoolExecutor
+        return _run_serial(problem, cost, configs, progress)
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
+    results: list = [None] * len(configs)
     try:
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(configs)),
             initializer=_init_worker,
             initargs=(payload,),
         ) as pool:
-            return list(pool.map(_run_config, configs))
+            # submit + wait (not pool.map) so heartbeats fire as runs
+            # *complete*; results still scatter back in config order.
+            pending = {pool.submit(_run_config, cfg): i for i, cfg in enumerate(configs)}
+            done_count = 0
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = pending.pop(future)
+                    results[index] = future.result()
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, len(configs), _label(configs[index]))
+        return results
     except (BrokenProcessPool, OSError) as exc:
         warnings.warn(
             f"parallel run falling back to serial: process pool failed ({exc})",
             RuntimeWarning,
             stacklevel=2,
         )
-        return _run_serial(problem, cost, configs)
+        return _run_serial(problem, cost, configs, progress)
 
 
 def _map_runs_cohorts(
-    problem, cost, configs: list, *, workers: int | None, replicas: int
+    problem, cost, configs: list, *, workers: int | None, replicas: int, progress=None
 ) -> list:
     """Cohort-batched :func:`map_runs`: chunks of same-shape configs run
-    in lockstep within a process, chunks fan out across processes."""
+    in lockstep within a process, chunks fan out across processes.
+    Heartbeats fire once per completed *chunk*, counting its runs."""
     from repro.harness.runner import run_cohort
 
     chunks = plan_cohorts(configs, replicas)
     results: list = [None] * len(configs)
+    done_runs = 0
 
     def _scatter(chunk: list[int], chunk_results: list) -> None:
+        nonlocal done_runs
         for index, result in zip(chunk, chunk_results):
             results[index] = result
+        done_runs += len(chunk)
+        if progress is not None:
+            progress(done_runs, len(configs), _label(configs[chunk[-1]]))
 
     def _serial_chunks() -> list:
         for chunk in chunks:
@@ -285,18 +324,23 @@ def _map_runs_cohorts(
     payload = _pickle_payload(problem, cost)
     if payload is None:
         return _serial_chunks()
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
-    chunk_configs = [[configs[i] for i in chunk] for chunk in chunks]
     try:
         with ProcessPoolExecutor(
             max_workers=min(n_workers, len(chunks)),
             initializer=_init_worker,
             initargs=(payload,),
         ) as pool:
-            for chunk, chunk_results in zip(chunks, pool.map(_run_cohort_chunk, chunk_configs)):
-                _scatter(chunk, chunk_results)
+            pending = {
+                pool.submit(_run_cohort_chunk, [configs[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    _scatter(pending.pop(future), future.result())
         return results
     except (BrokenProcessPool, OSError) as exc:
         warnings.warn(
@@ -304,7 +348,11 @@ def _map_runs_cohorts(
             RuntimeWarning,
             stacklevel=2,
         )
-        return _serial_chunks()
+        # Chunks that already scattered keep their results; redo the rest.
+        for chunk in chunks:
+            if results[chunk[0]] is None:
+                _scatter(chunk, run_cohort(problem, cost, [configs[i] for i in chunk]))
+        return results
 
 
 class ParallelRunner:
@@ -331,16 +379,20 @@ class ParallelRunner:
         self.replicas = resolve_replicas(replicas)
         self.workers = resolve_workers(workers, cohort_replicas=self.replicas)
 
-    def map(self, configs: Sequence["RunConfig"]) -> list["RunResult"]:
+    def map(self, configs: Sequence["RunConfig"], *, progress=None) -> list["RunResult"]:
         """Run every config; ordered, deterministic results."""
         return map_runs(
-            self.problem, self.cost, configs, workers=self.workers, replicas=self.replicas
+            self.problem, self.cost, configs,
+            workers=self.workers, replicas=self.replicas, progress=progress,
         )
 
     def run_repeated(
-        self, config: "RunConfig", *, repeats: int, seed_stride: int = 1_000
+        self, config: "RunConfig", *, repeats: int, seed_stride: int = 1_000, progress=None
     ) -> list["RunResult"]:
         """The parallel counterpart of :func:`repro.harness.runner.run_repeated`."""
         from repro.harness.runner import repeated_configs
 
-        return self.map(repeated_configs(config, repeats=repeats, seed_stride=seed_stride))
+        return self.map(
+            repeated_configs(config, repeats=repeats, seed_stride=seed_stride),
+            progress=progress,
+        )

@@ -25,13 +25,15 @@ from repro.core.base import Algorithm, SGDContext, make_algorithm
 from repro.core.convergence import ConvergenceMonitor, ConvergenceReport, RunStatus
 from repro.core.problem import Problem
 from repro.harness.config import RunConfig
+from repro.observe import profiler as _profiler
+from repro.observe.provenance import collect_provenance
 from repro.sim.arena import BufferArena
 from repro.sim.cost import CostModel
 from repro.sim.memory import MemoryAccountant
 from repro.sim.scheduler import Scheduler, SchedulerConfig
 from repro.sim.trace import TraceRecorder
 from repro.telemetry.bus import ProbeBus
-from repro.telemetry.metrics import RunMetrics, collect_run_metrics
+from repro.telemetry.metrics import RunMetrics, collect_run_metrics, nan_wall_phases
 from repro.telemetry.probes import make_probe, run_info_for
 from repro.utils.rng import RngFactory
 from repro.utils.timing import WallTimer
@@ -124,6 +126,24 @@ class RunResult:
     def final_accuracy(self) -> float:
         return self.metrics["final_accuracy"]
 
+    @property
+    def wall_phases(self) -> dict[str, float]:
+        """Host seconds split into setup / simulate / teardown (NaN for
+        phases that never ran)."""
+        return self.metrics["wall_phases"]
+
+    @property
+    def profile(self) -> dict:
+        """Self-profiler span summary (``{}`` unless the config opted
+        in via ``self_profile=True``)."""
+        return self.metrics["profile"]
+
+    @property
+    def provenance(self) -> dict:
+        """The run's provenance manifest (git SHA, config hash,
+        environment facts; see :mod:`repro.observe.provenance`)."""
+        return self.metrics["provenance"]
+
     # -- derived metrics -------------------------------------------------
     def time_to(self, eps: float) -> float:
         """Virtual seconds to eps-convergence (NaN if not reached)."""
@@ -215,8 +235,17 @@ def _prepare_run(problem: Problem, cost: CostModel, config: RunConfig) -> _Prepa
     theta0 = problem.init_theta(factory.named("init"))
     algorithm.setup(ctx, theta0)
 
+    def eval_fn() -> float:
+        # Held-out evaluation is the run's dominant *host* cost outside
+        # the step loop; span-profile it so a slow sweep is explainable.
+        prof = _profiler.ACTIVE
+        t0 = prof.start()
+        loss = problem.eval_loss(algorithm.snapshot_theta(ctx))
+        prof.stop("monitor.eval", t0)
+        return loss
+
     monitor = ConvergenceMonitor(
-        eval_fn=lambda: problem.eval_loss(algorithm.snapshot_theta(ctx)),
+        eval_fn=eval_fn,
         n_updates_fn=lambda: trace.n_updates,
         epsilons=config.epsilons,
         target_epsilon=config.target_epsilon,
@@ -243,23 +272,41 @@ def _prepare_run(problem: Problem, cost: CostModel, config: RunConfig) -> _Prepa
     )
 
 
-def _finalize_run(problem: Problem, prepared: _PreparedRun, wall_seconds: float) -> RunResult:
-    """Close a run's scheduler and assemble its :class:`RunResult`."""
+def _finalize_run(
+    problem: Problem,
+    prepared: _PreparedRun,
+    wall_seconds: float,
+    *,
+    wall_phases: dict[str, float] | None = None,
+    profiler: "_profiler.SpanProfiler | None" = None,
+) -> RunResult:
+    """Close a run's scheduler and assemble its :class:`RunResult`.
+
+    ``wall_phases`` carries the already-measured ``setup`` / ``simulate``
+    host seconds; this function times the teardown phase (snapshot,
+    held-out evaluation, arena trim, metric assembly) and completes the
+    split. ``profiler`` is the run-scoped span profiler whose summary
+    lands in ``metrics["profile"]`` (None when the run did not opt in).
+    """
     scheduler = prepared.scheduler
     config = prepared.config
-    scheduler.close()
+    phases = dict(wall_phases) if wall_phases is not None else nan_wall_phases()
+    teardown = WallTimer()
+    with teardown:
+        scheduler.close()
 
-    report = prepared.monitor.report
-    # A report still RUNNING means the scheduler stopped before the
-    # monitor classified the run (e.g. the event queue drained): the
-    # harness halted it, not the algorithm's convergence behaviour.
-    status = report.status if report.status is not RunStatus.RUNNING else RunStatus.STOPPED
-    theta_final = prepared.algorithm.snapshot_theta(prepared.ctx)
-    accuracy = problem.eval_accuracy(theta_final)
-    if prepared.arena is not None:
-        # Teardown trim: release the free-lists' high water and account
-        # for the parked buffers the run never re-used.
-        prepared.memory.record_pool_trim(prepared.arena.trim())
+        report = prepared.monitor.report
+        # A report still RUNNING means the scheduler stopped before the
+        # monitor classified the run (e.g. the event queue drained): the
+        # harness halted it, not the algorithm's convergence behaviour.
+        status = report.status if report.status is not RunStatus.RUNNING else RunStatus.STOPPED
+        theta_final = prepared.algorithm.snapshot_theta(prepared.ctx)
+        accuracy = problem.eval_accuracy(theta_final)
+        if prepared.arena is not None:
+            # Teardown trim: release the free-lists' high water and account
+            # for the parked buffers the run never re-used.
+            prepared.memory.record_pool_trim(prepared.arena.trim())
+    phases["teardown"] = teardown.elapsed
 
     metrics = collect_run_metrics(
         prepared.trace,
@@ -269,6 +316,9 @@ def _finalize_run(problem: Problem, prepared: _PreparedRun, wall_seconds: float)
         wall_seconds=wall_seconds,
         final_accuracy=accuracy,
         probes=prepared.probes,
+        wall_phases=phases,
+        profile=profiler.summary() if profiler is not None else {},
+        provenance=collect_provenance(config),
     )
     return RunResult(config=config, status=status, report=report, metrics=metrics)
 
@@ -279,13 +329,34 @@ def run_once(problem: Problem, cost: CostModel, config: RunConfig) -> RunResult:
     ``config.probes`` names pluggable probes (see
     :data:`repro.telemetry.probes.PROBES`) attached to the run's bus;
     probes observe without perturbing, so results are bitwise-identical
-    for any probe set.
+    for any probe set. ``config.self_profile`` additionally activates
+    the engine span profiler for the duration of the run (host-time
+    observation only — results stay bitwise-identical).
+
+    ``wall_seconds`` keeps its historical meaning (the simulate phase);
+    the full setup / simulate / teardown split is in
+    ``metrics["wall_phases"]``.
     """
-    prepared = _prepare_run(problem, cost, config)
-    timer = WallTimer()
-    with timer:
-        prepared.scheduler.run()
-    return _finalize_run(problem, prepared, timer.elapsed)
+    profiler = _profiler.SpanProfiler() if config.self_profile else None
+    if profiler is not None:
+        _profiler.activate(profiler)
+    try:
+        setup = WallTimer()
+        with setup:
+            prepared = _prepare_run(problem, cost, config)
+        simulate = WallTimer()
+        with simulate:
+            prepared.scheduler.run()
+        phases = nan_wall_phases()
+        phases["setup"] = setup.elapsed
+        phases["simulate"] = simulate.elapsed
+        return _finalize_run(
+            problem, prepared, simulate.elapsed,
+            wall_phases=phases, profiler=profiler,
+        )
+    finally:
+        if profiler is not None:
+            _profiler.deactivate()
 
 
 def run_cohort(problem: Problem, cost: CostModel, configs: list[RunConfig]) -> list[RunResult]:
@@ -301,6 +372,12 @@ def run_cohort(problem: Problem, cost: CostModel, configs: list[RunConfig]) -> l
     process-parallel runs, wall time is an execution property, not a
     simulation result). For the same reason a ``max_wall_seconds`` cap
     applies to the cohort's shared wall clock rather than per replica.
+
+    Wall-phase accounting follows the same rule: ``setup`` and
+    ``teardown`` are measured per replica, while ``simulate`` is the
+    shared lockstep time. The span profiler (when any config opts in
+    via ``self_profile``) is likewise cohort-scoped — every opted-in
+    replica carries the same shared span summary.
     """
     if not configs:
         return []
@@ -308,12 +385,35 @@ def run_cohort(problem: Problem, cost: CostModel, configs: list[RunConfig]) -> l
         return [run_once(problem, cost, configs[0])]
     from repro.sim.replica import LockstepCohort  # local import avoids a cycle
 
-    prepared = [_prepare_run(problem, cost, config) for config in configs]
-    cohort = LockstepCohort([p.scheduler for p in prepared])
-    timer = WallTimer()
-    with timer:
-        cohort.run()
-    return [_finalize_run(problem, p, timer.elapsed) for p in prepared]
+    profiler = _profiler.SpanProfiler() if any(c.self_profile for c in configs) else None
+    if profiler is not None:
+        _profiler.activate(profiler)
+    try:
+        prepared = []
+        setup_times = []
+        for config in configs:
+            setup = WallTimer()
+            with setup:
+                prepared.append(_prepare_run(problem, cost, config))
+            setup_times.append(setup.elapsed)
+        cohort = LockstepCohort([p.scheduler for p in prepared])
+        timer = WallTimer()
+        with timer:
+            cohort.run()
+        results = []
+        for p, setup_elapsed in zip(prepared, setup_times):
+            phases = nan_wall_phases()
+            phases["setup"] = setup_elapsed
+            phases["simulate"] = timer.elapsed
+            results.append(_finalize_run(
+                problem, p, timer.elapsed,
+                wall_phases=phases,
+                profiler=profiler if p.config.self_profile else None,
+            ))
+        return results
+    finally:
+        if profiler is not None:
+            _profiler.deactivate()
 
 
 def repeated_configs(

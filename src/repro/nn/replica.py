@@ -46,6 +46,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observe import profiler as _profiler
+
 __all__ = ["ReplicaKernel"]
 
 #: Layer kinds the plan walker understands. Anything else (e.g. the
@@ -166,6 +168,8 @@ class ReplicaKernel:
                 for g in gcs:
                     g.execute()
                 return
+        prof = _profiler.ACTIVE
+        prof_t0 = prof.start()
         tasks = [gc.task for gc in gcs]
         n = self.batch
         kn = k * n
@@ -194,6 +198,7 @@ class ReplicaKernel:
         for gc in gcs:
             if gc.post is not None:
                 gc.post()
+        prof.stop("kernel.execute", prof_t0)
 
     # ------------------------------------------------------------------
     def _forward(self, k: int, tasks: list, params: list) -> None:

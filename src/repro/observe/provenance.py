@@ -1,0 +1,127 @@
+"""Run-provenance manifests: what code, on what host, produced a result.
+
+Reproducible benchmarking lives or dies on knowing exactly which tree
+and environment produced a number (the FuzzBench lesson), so every run
+record and every ``BENCH_*.json`` carries a provenance manifest:
+
+* ``git_sha`` / ``git_dirty`` — the commit the working tree was at, and
+  whether uncommitted changes were present (a dirty SHA is a warning
+  sign, not an identity);
+* ``config_hash`` — a stable hash of the run's full ``RunConfig``
+  ``repr`` (frozen dataclass, so the repr is canonical);
+* ``python`` / ``numpy`` / ``platform`` / ``cpu_count`` / ``hostname``
+  — the execution environment;
+* ``seed`` / ``seed_protocol`` — the run's seed and how per-stream
+  seeds derive from it.
+
+Per-run manifests deliberately contain **no timestamps**: two runs of
+the same config on the same tree must produce byte-identical records
+(the determinism contract extends to provenance). Benchmark scripts,
+whose outputs are point-in-time measurements, add their own timestamp
+next to the manifest via :func:`bench_manifest`.
+
+Everything here is stdlib-only and failure-tolerant: a missing ``git``
+binary or a non-repo checkout yields ``"unknown"`` fields, never an
+exception — provenance must not be able to break a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["collect_provenance", "bench_manifest", "git_state", "config_hash"]
+
+#: How RngFactory derives per-stream seeds from ``RunConfig.seed`` —
+#: recorded so an archived row documents its own reproduction recipe.
+SEED_PROTOCOL = "RngFactory(seed).named(stream): SeedSequence(seed, hash(stream))"
+
+
+@lru_cache(maxsize=1)
+def git_state() -> tuple[str, bool]:
+    """``(sha, dirty)`` of the repository containing this package, or
+    ``("unknown", False)`` when git is unavailable. Cached per process —
+    the tree cannot change mid-run."""
+    repo_dir = str(Path(__file__).resolve().parent)
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode != 0:
+            return "unknown", False
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=repo_dir, capture_output=True, text=True, timeout=10,
+        )
+        dirty = status.returncode == 0 and bool(status.stdout.strip())
+        return sha.stdout.strip(), dirty
+    except (OSError, subprocess.SubprocessError):
+        return "unknown", False
+
+
+def config_hash(config) -> str:
+    """Stable short hash of a frozen config's canonical ``repr``."""
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+def collect_provenance(config=None) -> dict:
+    """The provenance manifest for one run (JSON-safe, timestamp-free).
+
+    ``config`` is the run's :class:`~repro.harness.config.RunConfig`
+    (or any frozen config object); ``None`` omits the config-derived
+    fields (benchmark-level manifests).
+    """
+    sha, dirty = git_state()
+    manifest: dict = {
+        "git_sha": sha,
+        "git_dirty": dirty,
+        "python": platform.python_version(),
+        "numpy": _numpy_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "hostname": socket.gethostname(),
+        "seed_protocol": SEED_PROTOCOL,
+    }
+    if config is not None:
+        manifest["config_hash"] = config_hash(config)
+        seed = getattr(config, "seed", None)
+        if seed is not None:
+            manifest["seed"] = seed
+    return manifest
+
+
+def bench_manifest() -> dict:
+    """Provenance for a benchmark output file: the run manifest plus a
+    wall-clock timestamp (benchmarks are point-in-time measurements,
+    unlike deterministic run records)."""
+    manifest = collect_provenance()
+    manifest["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    return manifest
+
+
+def _numpy_version() -> str:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        return "unknown"
+
+
+def _main() -> int:  # pragma: no cover - debugging helper
+    import json
+
+    print(json.dumps(bench_manifest(), indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main())

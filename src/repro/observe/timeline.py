@@ -1,0 +1,290 @@
+"""Execution-timeline export: protocol events as a Chrome-trace JSON.
+
+:class:`TimelineRecorder` is a pluggable probe (``"timeline"`` in the
+:data:`~repro.telemetry.probes.PROBES` registry) that converts the bus's
+protocol events into the Chrome Trace Event Format — the JSON dialect
+``chrome://tracing`` and Perfetto's JSON importer read — so a
+Leashed-SGD CAS storm or a lock convoy is literally *visible*: one track
+per simulated worker thread, duration spans for the read / compute /
+prepare / LAU-SPC phases, instant markers for CAS failures, drops and
+reclamations, and overlay spans for mutex waits.
+
+Time base: the simulator's virtual seconds, exported as microseconds
+(the trace format's unit), so 1 virtual second = 1 exported second in
+the viewer. Span boundaries follow the same phase semantics as
+:class:`~repro.telemetry.probes.PhaseTimeProbe` — the per-phase
+virtual-time totals in ``repro analyze`` and the timeline's span widths
+are two views of the same decomposition.
+
+Like every probe, the recorder observes and never perturbs: handlers
+are plain appends between two scheduler yields, so a run with the
+timeline attached is bitwise-identical to one without.
+
+Export/validation helpers:
+
+* :func:`export_chrome_trace` writes a probe result as a ``.json``
+  Perfetto can open (``json.dumps(..., allow_nan=False)`` — the trace
+  dialect has no NaN literal);
+* :func:`validate_chrome_trace` checks the structural schema (known
+  ``ph`` codes, non-negative ``X`` durations, per-track monotonic
+  ``ts``) and returns summary statistics — the CI trace smoke gates on
+  it.
+
+The SVG fallback (no browser needed) lives in
+:mod:`repro.viz.timeline`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.telemetry.probes import Probe, register_probe
+
+__all__ = [
+    "TimelineRecorder",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "PHASE_NAMES",
+]
+
+_NAN = float("nan")
+
+#: Span names a worker track can carry, in within-step order.
+PHASE_NAMES = ("read", "compute", "prepare", "lau_spc", "publish", "lock_wait")
+
+#: Event phase codes the validator accepts (complete / begin / end /
+#: instant, both spellings / metadata).
+_VALID_PH = frozenset({"X", "B", "E", "i", "I", "M"})
+
+#: Microseconds per virtual second (the trace format's time unit).
+_US = 1e6
+
+
+class TimelineRecorder(Probe):
+    """Collects one run's protocol events as Chrome-trace events.
+
+    Parameters
+    ----------
+    max_events:
+        Cap on exported events; past it the recorder keeps counting but
+        stops appending and flags the result ``truncated`` (a paper-scale
+        run emits millions of events — an uncapped export would dwarf
+        the JSONL it rides in).
+    """
+
+    name = "timeline"
+
+    def __init__(self, *, max_events: int = 200_000) -> None:
+        super().__init__()
+        if max_events <= 0:
+            raise ConfigurationError(f"max_events must be > 0, got {max_events}")
+        self.max_events = max_events
+        self._events: list[dict] = []
+        self._seen = 0
+        self._prev: dict[int, float] = {}
+        self._in_lau: set[int] = set()
+        self._tids: set[int] = set()
+
+    # -- event assembly -------------------------------------------------
+    def _emit(self, event: dict) -> None:
+        self._seen += 1
+        if len(self._events) < self.max_events:
+            self._events.append(event)
+
+    def _span(
+        self, phase: str, thread: int, start: float, end: float, args: dict | None = None
+    ) -> None:
+        self._tids.add(thread)
+        event = {
+            "name": phase,
+            "cat": "phase",
+            "ph": "X",
+            "ts": start * _US,
+            "dur": max(end - start, 0.0) * _US,
+            "pid": 0,
+            "tid": thread,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    def _instant(self, name: str, thread: int, time: float, args: dict | None = None) -> None:
+        self._tids.add(thread)
+        event = {
+            "name": name,
+            "cat": "protocol",
+            "ph": "i",
+            "s": "t",
+            "ts": time * _US,
+            "pid": 0,
+            "tid": thread,
+        }
+        if args:
+            event["args"] = args
+        self._emit(event)
+
+    # -- bus handlers ---------------------------------------------------
+    def on_read_pinned(self, time: float, thread: int, view_seq: int) -> None:
+        self._span("read", thread, self._prev.get(thread, 0.0), time,
+                   {"view_seq": int(view_seq)})
+        self._prev[thread] = time
+
+    def on_grad_done(self, time: float, thread: int, seq_now: int) -> None:
+        self._span("compute", thread, self._prev.get(thread, 0.0), time,
+                   {"seq_now": int(seq_now)})
+        self._prev[thread] = time
+
+    def on_lau_enter(self, time: float, thread: int) -> None:
+        self._span("prepare", thread, self._prev.get(thread, 0.0), time)
+        self._in_lau.add(thread)
+        self._prev[thread] = time
+
+    def on_cas_attempt(
+        self, time: float, thread: int, success: bool, failures_before: int
+    ) -> None:
+        if not success:
+            self._instant("cas_fail", thread, time,
+                          {"failures_before": int(failures_before)})
+
+    def on_publish(
+        self, time, thread, seq, staleness, cas_failures=0, loop_enter=_NAN
+    ) -> None:
+        phase = "lau_spc" if thread in self._in_lau else "publish"
+        self._in_lau.discard(thread)
+        self._span(phase, thread, self._prev.get(thread, 0.0), time,
+                   {"seq": int(seq), "staleness": int(staleness),
+                    "cas_failures": int(cas_failures)})
+        self._prev[thread] = time
+
+    def on_drop(self, time, thread, cas_failures, loop_enter=_NAN) -> None:
+        if thread in self._in_lau:
+            self._in_lau.discard(thread)
+            self._span("lau_spc", thread, self._prev.get(thread, 0.0), time,
+                       {"dropped": True, "cas_failures": int(cas_failures)})
+        self._instant("drop", thread, time, {"cas_failures": int(cas_failures)})
+        self._prev[thread] = time
+
+    def on_lock_wait(self, request_time: float, acquire_time: float, thread: int) -> None:
+        # Overlays the enclosing read span (it nests: the wait starts
+        # after the previous boundary and ends before the read event).
+        self._span("lock_wait", thread, request_time, acquire_time)
+
+    def on_reclaim(self, time: float, thread: int, seq: int) -> None:
+        self._instant("reclaim", thread, time, {"seq": int(seq)})
+
+    # -- result ---------------------------------------------------------
+    def result(self) -> dict:
+        """The Chrome-trace payload: ``traceEvents`` sorted per track by
+        timestamp (the viewers require it), metadata names first."""
+        info = self.info
+        process_name = "repro simulation"
+        if info is not None:
+            process_name = f"repro {info.algorithm} m={info.m} seed={info.seed}"
+        meta: list[dict] = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0, "ts": 0,
+            "args": {"name": process_name},
+        }]
+        for tid in sorted(self._tids):
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "ts": 0,
+                "args": {"name": f"worker {tid}"},
+            })
+        events = sorted(self._events, key=lambda e: (e["pid"], e["tid"], e["ts"]))
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "n_events": self._seen,
+            "truncated": self._seen > len(self._events),
+        }
+
+
+def export_chrome_trace(timeline_result: dict, path: str | Path) -> Path:
+    """Write a :meth:`TimelineRecorder.result` payload (or a JSONL row's
+    ``probes["timeline"]``) as a ``.json`` trace file for Perfetto /
+    ``chrome://tracing``."""
+    events = timeline_result.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigurationError(
+            "not a timeline payload: missing 'traceEvents' list "
+            "(pass result.metrics.probe('timeline') or row['probes']['timeline'])"
+        )
+    payload = {
+        "traceEvents": events,
+        "displayTimeUnit": timeline_result.get("displayTimeUnit", "ms"),
+        "otherData": {
+            "n_events": timeline_result.get("n_events", len(events)),
+            "truncated": bool(timeline_result.get("truncated", False)),
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, allow_nan=False, separators=(",", ":")))
+    return path
+
+
+def validate_chrome_trace(payload: dict) -> dict:
+    """Structural schema check for a Chrome-trace payload.
+
+    Raises :class:`~repro.errors.ConfigurationError` on the first
+    violation; returns summary statistics (``n_events``, ``n_tracks``,
+    per-``ph`` counts, span/instant tallies) when the payload is valid.
+    Checks:
+
+    * ``traceEvents`` is a list of dicts with known ``ph`` codes;
+    * every non-metadata event carries numeric ``ts`` and ``pid``/``tid``;
+    * ``X`` events carry a non-negative numeric ``dur``;
+    * instants carry a valid scope ``s``;
+    * per ``(pid, tid)`` track, timestamps are non-decreasing.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ConfigurationError("trace payload has no 'traceEvents' list")
+    phases: dict[str, int] = {}
+    last_ts: dict[tuple, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ConfigurationError(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph not in _VALID_PH:
+            raise ConfigurationError(
+                f"traceEvents[{i}]: unknown phase code {ph!r} "
+                f"(expected one of {sorted(_VALID_PH)})"
+            )
+        phases[ph] = phases.get(ph, 0) + 1
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts:
+            raise ConfigurationError(f"traceEvents[{i}]: missing/invalid ts {ts!r}")
+        if "pid" not in event or "tid" not in event:
+            raise ConfigurationError(f"traceEvents[{i}]: missing pid/tid")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or not dur >= 0:
+                raise ConfigurationError(
+                    f"traceEvents[{i}]: X event needs dur >= 0, got {dur!r}"
+                )
+        if ph in ("i", "I") and event.get("s", "t") not in ("t", "p", "g"):
+            raise ConfigurationError(
+                f"traceEvents[{i}]: instant scope must be t/p/g, got {event.get('s')!r}"
+            )
+        track = (event["pid"], event["tid"])
+        prev = last_ts.get(track)
+        if prev is not None and ts < prev:
+            raise ConfigurationError(
+                f"traceEvents[{i}]: ts {ts} goes backwards on track {track} "
+                f"(previous {prev})"
+            )
+        last_ts[track] = ts
+    return {
+        "n_events": len(events),
+        "n_tracks": len(last_ts),
+        "phases": phases,
+        "n_spans": phases.get("X", 0),
+        "n_instants": phases.get("i", 0) + phases.get("I", 0),
+    }
+
+
+register_probe(TimelineRecorder.name, TimelineRecorder)

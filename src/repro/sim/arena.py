@@ -38,6 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.observe import profiler as _profiler
 
 __all__ = ["BufferArena"]
 
@@ -87,12 +88,17 @@ class BufferArena:
         """
         if size <= 0:
             raise SimulationError(f"arena buffer size must be > 0, got {size}")
+        prof = _profiler.ACTIVE
+        t0 = prof.start()
         free = self._free.get(self._key(size, dtype))
         if free:
             self.hits += 1
-            return free.pop()
-        self.misses += 1
-        return np.empty(int(size), dtype=dtype)
+            buf = free.pop()
+        else:
+            self.misses += 1
+            buf = np.empty(int(size), dtype=dtype)
+        prof.stop("arena.acquire", t0)
+        return buf
 
     def release(self, buf: np.ndarray) -> None:
         """Park ``buf`` for reuse. The caller must drop every reference:
@@ -103,15 +109,19 @@ class BufferArena:
             raise SimulationError(
                 f"arena only pools flat 1-D buffers, got shape {buf.shape}"
             )
+        prof = _profiler.ACTIVE
+        t0 = prof.start()
         self.released += 1
         key = self._key(buf.size, buf.dtype)
         free = self._free.setdefault(key, [])
         if self.max_per_key is not None and len(free) >= self.max_per_key:
             self.dropped += 1
+            prof.stop("arena.release", t0)
             return
         if self.poison and np.issubdtype(buf.dtype, np.floating):
             buf.fill(np.nan)
         free.append(buf)
+        prof.stop("arena.release", t0)
 
     # ------------------------------------------------------------------
     @property

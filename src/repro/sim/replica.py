@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.observe import profiler as _profiler
 from repro.sim.scheduler import Scheduler
 
 __all__ = ["LockstepCohort"]
@@ -79,7 +80,10 @@ class LockstepCohort:
             if not paused:
                 return
             self.rounds += 1
+            prof = _profiler.ACTIVE
+            t0 = prof.start()
             self._execute_round(paused, kmax)
+            prof.stop("cohort.round", t0)
             for scheduler in paused:
                 scheduler.resume_after_grads()
 

@@ -35,6 +35,7 @@ from typing import Callable, Iterable
 import numpy as np
 
 from repro.errors import DeadlockError, SimulationError
+from repro.observe import profiler as _profiler
 from repro.sim.clock import VirtualClock
 from repro.sim.grad import GradCompute
 from repro.sim.sync import AcquireRequest, BarrierRequest
@@ -309,6 +310,11 @@ class Scheduler:
         suspend_after = self._suspend_after
         pending_tids = self._pending_tids
         events = self._events_processed
+        # Self-profiler span for the whole loop segment (a cohort-mode
+        # scheduler runs many segments per replica); ACTIVE is a no-op
+        # object unless the run opted in via RunConfig.self_profile.
+        prof = _profiler.ACTIVE
+        prof_t0 = prof.start()
         try:
             while queue and not self._stopped:
                 if events >= max_events:
@@ -413,6 +419,7 @@ class Scheduler:
                     )
         finally:
             self._events_processed = events
+            prof.stop("scheduler.run", prof_t0)
         if (
             not queue
             and self._blocked_count > 0

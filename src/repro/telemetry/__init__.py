@@ -27,8 +27,13 @@ afterthought. This package provides the three layers:
 """
 
 from repro.telemetry.bus import EVENTS, ProbeBus
-from repro.telemetry.jsonl import read_jsonl, result_to_line, write_jsonl
-from repro.telemetry.metrics import SCHEMA_VERSION, RunMetrics, collect_run_metrics
+from repro.telemetry.jsonl import migrate_row, read_jsonl, result_to_line, write_jsonl
+from repro.telemetry.metrics import (
+    SCHEMA_VERSION,
+    RunMetrics,
+    collect_run_metrics,
+    nan_wall_phases,
+)
 from repro.telemetry.probes import (
     PROBES,
     STANDARD_PROBES,
@@ -63,4 +68,6 @@ __all__ = [
     "read_jsonl",
     "result_to_line",
     "write_jsonl",
+    "migrate_row",
+    "nan_wall_phases",
 ]

@@ -6,6 +6,17 @@ concatenation) and streams into ``repro analyze``. Lines are the
 flattened :func:`repro.utils.serialization.result_to_dict` payload, so
 NumPy arrays and NaN/inf round-trip exactly, and every line carries the
 :data:`~repro.telemetry.metrics.SCHEMA_VERSION` it was written under.
+
+Versioning policy:
+
+* rows written under an **older** schema are migrated forward on read
+  (:func:`migrate_row` fills keys later versions added with their
+  never-ran / empty defaults — a v1 row gains NaN ``wall_phases``, an
+  empty ``profile`` and an empty ``provenance``);
+* rows written under a **newer or missing** schema raise
+  :class:`~repro.errors.SchemaVersionError` (a
+  :class:`~repro.errors.ConfigurationError`) under ``strict`` reads —
+  a clear refusal instead of a ``KeyError`` deep in a consumer.
 """
 
 from __future__ import annotations
@@ -14,8 +25,8 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from repro.errors import ConfigurationError
-from repro.telemetry.metrics import SCHEMA_VERSION
+from repro.errors import SchemaVersionError
+from repro.telemetry.metrics import SCHEMA_VERSION, nan_wall_phases
 from repro.utils.serialization import _decode, _encode, result_to_dict
 
 
@@ -39,12 +50,31 @@ def write_jsonl(results: Iterable, path: str | Path, *, append: bool = False) ->
     return path
 
 
+def migrate_row(row: dict) -> dict:
+    """Migrate one flat run row written under an older schema to the
+    current layout, in place (rows already current pass through).
+
+    v1 -> v2 fills the observability keys with their never-ran / empty
+    defaults: ``wall_phases`` all-NaN, ``profile`` ``{}``,
+    ``provenance`` ``{}``.
+    """
+    version = row.get("schema_version")
+    if version == 1:
+        row.setdefault("wall_phases", nan_wall_phases())
+        row.setdefault("profile", {})
+        row.setdefault("provenance", {})
+        row["schema_version"] = SCHEMA_VERSION
+    return row
+
+
 def read_jsonl(path: str | Path, *, strict: bool = True) -> list[dict]:
     """Read runs back as plain dicts (arrays/NaN restored).
 
-    ``strict`` rejects lines written under a *newer* schema than this
-    code knows; older versions are accepted as-is (schema v1 is the
-    first).
+    Rows written under older schema versions are migrated to the
+    current layout (:func:`migrate_row`). ``strict`` raises
+    :class:`~repro.errors.SchemaVersionError` on lines written under a
+    *newer* schema than this code knows (or none at all); ``strict=
+    False`` passes them through unmigrated.
     """
     out: list[dict] = []
     with Path(path).open() as fh:
@@ -54,10 +84,13 @@ def read_jsonl(path: str | Path, *, strict: bool = True) -> list[dict]:
                 continue
             row = _decode(json.loads(line))
             version = row.get("schema_version")
-            if strict and (version is None or version > SCHEMA_VERSION):
-                raise ConfigurationError(
-                    f"{path}:{lineno}: schema_version {version!r} not supported "
-                    f"(this build reads <= {SCHEMA_VERSION})"
-                )
+            if version is None or version > SCHEMA_VERSION:
+                if strict:
+                    raise SchemaVersionError(
+                        f"{path}:{lineno}: schema_version {version!r} not supported "
+                        f"(this build reads <= {SCHEMA_VERSION})"
+                    )
+            else:
+                row = migrate_row(row)
             out.append(row)
     return out

@@ -39,6 +39,24 @@ Keys (schema v1); probe results live under ``probes.<name>``:
 ``final_accuracy``    held-out accuracy of the final parameters
 ``probes``            ``{probe_name: probe.result()}``
 ====================  =====================================================
+
+Keys added in schema v2 (see :mod:`repro.observe`):
+
+====================  =====================================================
+``wall_phases``       host seconds split into ``setup`` / ``simulate`` /
+                      ``teardown`` (NaN for a phase that never ran —
+                      the PR-3 never-applicable convention)
+``profile``           the self-profiler's per-span summary
+                      (``{span: {count, total_s, mean_s, max_s}}``);
+                      ``{}`` when the run did not opt in
+``provenance``        the :func:`repro.observe.provenance.
+                      collect_provenance` manifest (git SHA + dirty
+                      flag, config hash, interpreter/library versions,
+                      host facts, seed protocol)
+====================  =====================================================
+
+v1 rows load after migration (:func:`repro.telemetry.jsonl.migrate_row`
+fills the v2 keys with their never-ran/empty defaults).
 """
 
 from __future__ import annotations
@@ -47,7 +65,15 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 #: Bump on any incompatible change to the key layout above.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+_NAN = float("nan")
+
+
+def nan_wall_phases() -> dict[str, float]:
+    """The ``wall_phases`` value for phases that never ran (migrated v1
+    rows, partially-executed runs)."""
+    return {"setup": _NAN, "simulate": _NAN, "teardown": _NAN}
 
 
 @dataclass
@@ -92,12 +118,25 @@ def collect_run_metrics(
     wall_seconds: float,
     final_accuracy: float = float("nan"),
     probes: tuple = (),
+    wall_phases: dict[str, float] | None = None,
+    profile: dict | None = None,
+    provenance: dict | None = None,
 ) -> RunMetrics:
-    """Assemble the schema-v1 :class:`RunMetrics` from a finished run's
-    built-in subscribers plus any attached probes."""
+    """Assemble the schema-v2 :class:`RunMetrics` from a finished run's
+    built-in subscribers plus any attached probes.
+
+    ``wall_phases`` splits ``wall_seconds`` into setup / simulate /
+    teardown (NaN phases never ran); ``profile`` is the self-profiler
+    summary (``{}`` when the run did not opt in); ``provenance`` is the
+    run's provenance manifest. All three default to their never-ran /
+    empty values so direct callers stay valid.
+    """
     values: dict[str, Any] = {
         "virtual_time": virtual_time,
         "wall_seconds": wall_seconds,
+        "wall_phases": dict(wall_phases) if wall_phases is not None else nan_wall_phases(),
+        "profile": dict(profile) if profile is not None else {},
+        "provenance": dict(provenance) if provenance is not None else {},
         "n_updates": trace.n_updates,
         "n_dropped": len(trace.dropped),
         "cas_failure_rate": trace.cas_failure_rate(),

@@ -422,11 +422,21 @@ def register_probe(name: str, cls: type[Probe]) -> None:
 
 
 def make_probe(name: str) -> Probe:
-    """Instantiate a registered probe by name."""
-    try:
-        cls = PROBES[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown probe {name!r}; known: {sorted(PROBES)}"
-        ) from None
+    """Instantiate a registered probe by name.
+
+    On a registry miss, the lazily-imported :mod:`repro.observe`
+    extensions (e.g. the ``"timeline"`` Chrome-trace recorder) are
+    loaded and the lookup retried — so probe *names* resolve in pool
+    worker processes without the parent having to pre-import the
+    observability layer.
+    """
+    cls = PROBES.get(name)
+    if cls is None:
+        try:
+            import repro.observe.timeline  # noqa: F401 — registers on import
+        except ImportError:  # pragma: no cover - observe ships with the package
+            pass
+        cls = PROBES.get(name)
+    if cls is None:
+        raise ConfigurationError(f"unknown probe {name!r}; known: {sorted(PROBES)}")
     return cls()

@@ -1,0 +1,139 @@
+"""Pure-python SVG rendering of a recorded execution timeline.
+
+The primary export format for :class:`repro.observe.timeline.
+TimelineRecorder` is Chrome-trace JSON (load it in Perfetto /
+``chrome://tracing``); this module is the dependency-free fallback — a
+static swimlane chart built on :class:`repro.viz.svg.SvgCanvas`, one
+lane per simulated worker thread, phase spans as colored rectangles and
+protocol instants (CAS failures, drops, reclaims) as tick markers. No
+matplotlib, no browser: the output opens in anything that renders SVG.
+
+The input is the recorder's ``result()`` payload (or the exported JSON
+file's content — same shape), so a trace can be exported once and
+rendered to SVG later without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["render_timeline_svg", "save_timeline_svg"]
+
+#: Fill colors per span phase (Perfetto-ish pastel palette).
+PHASE_COLORS = {
+    "read": "#7fb3d5",       # pinned-read window
+    "compute": "#76c893",    # gradient computation
+    "prepare": "#f4d35e",    # LAU prepare (allocate + compose)
+    "lau_spc": "#f4a259",    # LAU synchronized publish/cleanup
+    "publish": "#f4a259",    # non-LAU publish window
+    "lock_wait": "#e56b6f",  # mutex queue time
+}
+#: Marker colors per instant name.
+INSTANT_COLORS = {"cas_fail": "#c1121f", "drop": "#780000", "reclaim": "#6c757d"}
+
+_LANE_H = 26
+_LANE_GAP = 6
+_MARGIN_L = 90
+_MARGIN_R = 20
+_MARGIN_T = 46
+_MARGIN_B = 40
+_LEGEND_H = 18
+
+
+def _span_rows(events: list[dict]) -> tuple[list[dict], list[dict], list[int]]:
+    """Split trace events into (spans, instants, sorted thread ids)."""
+    spans = [e for e in events if e.get("ph") == "X"]
+    instants = [e for e in events if e.get("ph") in ("i", "I")]
+    tids = sorted({int(e["tid"]) for e in spans + instants})
+    return spans, instants, tids
+
+
+def render_timeline_svg(timeline_result: dict, *, width: int = 960) -> SvgCanvas:
+    """Build the swimlane chart for one recorded run.
+
+    ``timeline_result`` is :meth:`TimelineRecorder.result` output (the
+    exported chrome-trace JSON parses to the same mapping). Raises
+    :class:`ConfigurationError` when the payload holds no events —
+    an empty chart usually means the probe was never attached.
+    """
+    events = list(timeline_result.get("traceEvents", ()))
+    spans, instants, tids = _span_rows(events)
+    if not spans and not instants:
+        raise ConfigurationError(
+            "timeline payload holds no spans or instants; was the run "
+            "executed with probes=('timeline',)?"
+        )
+    t_max = max(
+        [e["ts"] + e.get("dur", 0.0) for e in spans] + [e["ts"] for e in instants]
+    )
+    t_max = max(t_max, 1e-9)
+    height = (
+        _MARGIN_T + len(tids) * (_LANE_H + _LANE_GAP) + _LEGEND_H + _MARGIN_B
+    )
+    canvas = SvgCanvas(width, height)
+    plot_w = width - _MARGIN_L - _MARGIN_R
+
+    def x_of(ts_us: float) -> float:
+        return _MARGIN_L + plot_w * (ts_us / t_max)
+
+    title = "execution timeline"
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            title = str(event.get("args", {}).get("name", title))
+            break
+    canvas.text(_MARGIN_L, 18, title, size=13, bold=True)
+    canvas.text(width - _MARGIN_R, 18, f"{t_max / 1e6:.4g} virtual s",
+                anchor="end", color="#555")
+
+    lane_y = {tid: _MARGIN_T + i * (_LANE_H + _LANE_GAP) for i, tid in enumerate(tids)}
+    for tid, y in lane_y.items():
+        canvas.rect(_MARGIN_L, y, plot_w, _LANE_H, fill="#f6f6f6", stroke="#ddd",
+                    stroke_width=0.5)
+        canvas.text(_MARGIN_L - 8, y + _LANE_H / 2 + 4, f"worker {tid}",
+                    anchor="end", size=10)
+
+    for span in spans:
+        y = lane_y[int(span["tid"])]
+        x = x_of(span["ts"])
+        w = max(plot_w * (span.get("dur", 0.0) / t_max), 0.5)
+        color = PHASE_COLORS.get(span.get("name", ""), "#bbb")
+        canvas.rect(x, y + 2, w, _LANE_H - 4, fill=color, stroke="none", opacity=0.9)
+
+    for instant in instants:
+        y = lane_y[int(instant["tid"])]
+        x = x_of(instant["ts"])
+        color = INSTANT_COLORS.get(instant.get("name", ""), "#333")
+        canvas.line(x, y + 1, x, y + _LANE_H - 1, stroke=color, width=1.2)
+
+    # Time axis.
+    axis_y = _MARGIN_T + len(tids) * (_LANE_H + _LANE_GAP)
+    canvas.line(_MARGIN_L, axis_y, _MARGIN_L + plot_w, axis_y, stroke="#999")
+    for i in range(5):
+        frac = i / 4
+        x = _MARGIN_L + plot_w * frac
+        canvas.line(x, axis_y, x, axis_y + 4, stroke="#999")
+        canvas.text(x, axis_y + 16, f"{t_max * frac / 1e6:.3g}s",
+                    anchor="middle", size=9, color="#555")
+
+    # Legend.
+    legend_y = axis_y + _LEGEND_H + 6
+    x = _MARGIN_L
+    for name, color in PHASE_COLORS.items():
+        if name == "publish":  # same color as lau_spc; skip the duplicate
+            continue
+        canvas.rect(x, legend_y, 10, 10, fill=color, stroke="none")
+        canvas.text(x + 14, legend_y + 9, name, size=9, color="#444")
+        x += 14 + 7 * len(name) + 14
+    for name, color in INSTANT_COLORS.items():
+        canvas.line(x + 5, legend_y, x + 5, legend_y + 10, stroke=color, width=1.5)
+        canvas.text(x + 12, legend_y + 9, name, size=9, color="#444")
+        x += 12 + 7 * len(name) + 14
+    return canvas
+
+
+def save_timeline_svg(timeline_result: dict, path: str | Path, *, width: int = 960) -> Path:
+    """Render and write the swimlane chart; returns the written path."""
+    return render_timeline_svg(timeline_result, width=width).save(path)

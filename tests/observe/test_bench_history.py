@@ -1,0 +1,141 @@
+"""Bench-trajectory extraction and the regression gate, including the
+acceptance fixture: an injected 20% throughput drop must be detected
+and fail the CLI with a non-zero exit."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.errors import ConfigurationError
+from repro.observe.bench_history import (
+    append_history,
+    check_regressions,
+    extract_headlines,
+    load_history,
+    render_report,
+    unrecognized_bench_files,
+)
+
+
+def write_bench_files(bench_dir, *, step_rate=2000.0, overhead=0.01):
+    """A synthetic BENCH_*.json set mirroring the real scripts' shapes."""
+    (bench_dir / "BENCH_engine.json").write_text(json.dumps({
+        "engine": {"current_events_per_sec": 500_000.0, "speedup": 2.0},
+        "harness": {"parallel_speedup": 1.1},
+    }))
+    (bench_dir / "BENCH_step.json").write_text(json.dumps({
+        "inprocess": [
+            {"workload": "mlp_b8_m4", "pooled_steps_per_sec": step_rate,
+             "speedup": 1.25},
+        ],
+    }))
+    (bench_dir / "BENCH_profile.json").write_text(json.dumps({
+        "workloads": [
+            {"workload": "mlp_b8_m4", "off_steps_per_sec": step_rate,
+             "overhead_frac": overhead},
+        ],
+    }))
+    return bench_dir
+
+
+class TestExtraction:
+    def test_headline_names(self, tmp_path):
+        metrics = extract_headlines(write_bench_files(tmp_path))
+        assert metrics["engine.events_per_sec"] == 500_000.0
+        assert metrics["step.mlp_b8_m4.steps_per_sec"] == 2000.0
+        assert metrics["profile.mlp_b8_m4.overhead_frac"] == 0.01
+
+    def test_missing_files_skipped(self, tmp_path):
+        assert extract_headlines(tmp_path) == {}
+
+    def test_invalid_json_raises(self, tmp_path):
+        (tmp_path / "BENCH_engine.json").write_text("{nope")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            extract_headlines(tmp_path)
+
+    def test_unrecognized_files_surfaced(self, tmp_path):
+        write_bench_files(tmp_path)
+        (tmp_path / "BENCH_mystery.json").write_text("{}")
+        assert unrecognized_bench_files(tmp_path) == ["BENCH_mystery.json"]
+
+
+class TestHistory:
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, {"a.rate": 1.0}, label="first")
+        append_history(path, {"a.rate": 2.0})
+        entries = load_history(path)
+        assert [e["metrics"]["a.rate"] for e in entries] == [1.0, 2.0]
+        assert entries[0]["label"] == "first"
+        assert "git_sha" in entries[0]["provenance"]
+
+    def test_missing_history_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "none.jsonl") == []
+
+
+class TestGate:
+    def test_twenty_percent_drop_detected(self):
+        previous = {"step.mlp_b8_m4.steps_per_sec": 2000.0}
+        current = {"step.mlp_b8_m4.steps_per_sec": 1600.0}  # -20%
+        (regression,) = check_regressions(current, previous, max_drop=0.15)
+        assert regression.metric == "step.mlp_b8_m4.steps_per_sec"
+        assert regression.drop == pytest.approx(0.2)
+
+    def test_small_move_passes(self):
+        previous = {"x.rate": 100.0}
+        assert check_regressions({"x.rate": 95.0}, previous, max_drop=0.15) == []
+
+    def test_lower_is_better_direction(self):
+        previous = {"profile.mlp.overhead_frac": 0.01}
+        worse = {"profile.mlp.overhead_frac": 0.02}  # +100% overhead
+        assert check_regressions(worse, previous, max_drop=0.15)
+        better = {"profile.mlp.overhead_frac": 0.005}
+        assert check_regressions(better, previous, max_drop=0.15) == []
+
+    def test_one_sided_metrics_never_gate(self):
+        assert check_regressions({"new.metric": 1.0}, {"old.metric": 9.9}) == []
+
+    def test_report_marks_regressions(self):
+        history = [{"label": "seed", "metrics": {"x.rate": 100.0},
+                    "provenance": {"git_sha": "abc123def456"}}]
+        current = {"x.rate": 50.0}
+        regs = check_regressions(current, history[-1]["metrics"])
+        report = render_report(history, current, regs)
+        assert "**REGRESSED**" in report
+        assert "seed (abc123def" in report
+
+
+class TestCli:
+    def test_injected_regression_fails_cli(self, tmp_path, capsys):
+        """The ISSUE acceptance fixture: record a healthy trajectory,
+        degrade steps/sec by 20%, and the gate must exit non-zero."""
+        write_bench_files(tmp_path, step_rate=2000.0)
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path), "--record"]) == 0
+        write_bench_files(tmp_path, step_rate=1600.0)  # -20% regression
+        code = cli_main(["bench-history", "--bench-dir", str(tmp_path)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: step.mlp_b8_m4.steps_per_sec" in out
+
+    def test_healthy_trajectory_passes_and_reports(self, tmp_path):
+        write_bench_files(tmp_path)
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path), "--record"]) == 0
+        report = tmp_path / "report.md"
+        code = cli_main([
+            "bench-history", "--bench-dir", str(tmp_path), "--report", str(report),
+        ])
+        assert code == 0
+        assert "# Benchmark trajectory" in report.read_text()
+
+    def test_empty_bench_dir_fails(self, tmp_path, capsys):
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path)]) == 1
+        assert "no recognized BENCH_" in capsys.readouterr().out
+
+    def test_overhead_increase_gates(self, tmp_path):
+        write_bench_files(tmp_path, overhead=0.01)
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path), "--record"]) == 0
+        write_bench_files(tmp_path, overhead=0.04)
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path)]) == 1

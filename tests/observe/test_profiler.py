@@ -1,0 +1,111 @@
+"""Self-profiler: span accounting, activation scoping, and the
+neutrality contract (profiling must not perturb the simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.runner import run_cohort, run_once
+from repro.observe import profiler as _profiler
+from repro.observe.profiler import SpanProfiler
+
+from tests.conftest import make_run_config
+from tests.test_determinism import assert_identical
+
+
+class TestSpanProfiler:
+    def test_accumulates_per_span(self):
+        prof = SpanProfiler()
+        for _ in range(5):
+            t0 = prof.start()
+            prof.stop("alpha", t0)
+        t0 = prof.start()
+        prof.stop("beta", t0)
+        summary = prof.summary()
+        assert set(summary) == {"alpha", "beta"}
+        assert summary["alpha"]["count"] == 5
+        assert summary["beta"]["count"] == 1
+        for stats in summary.values():
+            assert stats["total_s"] >= 0.0
+            assert stats["max_s"] >= stats["mean_s"] >= 0.0
+
+    def test_summary_sorted_by_descending_total(self):
+        prof = SpanProfiler()
+        # Monotonic fake timestamps: 'slow' accumulates more than 'fast'.
+        prof.stop("fast", prof.start())
+        prof._total["slow"] = 10**9
+        prof._count["slow"] = 1
+        prof._max["slow"] = 10**9
+        names = list(prof.summary())
+        assert names[0] == "slow"
+
+    def test_null_profiler_is_inert(self):
+        assert _profiler.NULL.start() == 0
+        _profiler.NULL.stop("anything", 0)  # no-op, no state
+        assert not _profiler.is_active()
+
+    def test_activate_deactivate_scoping(self):
+        prof = SpanProfiler()
+        _profiler.activate(prof)
+        try:
+            assert _profiler.is_active()
+            assert _profiler.ACTIVE is prof
+        finally:
+            _profiler.deactivate()
+        assert not _profiler.is_active()
+        assert _profiler.ACTIVE is _profiler.NULL
+
+
+class TestNeutrality:
+    """self_profile=True must change *nothing* about the simulation."""
+
+    @pytest.mark.parametrize("algorithm", ["LSH_psinf", "ASYNC", "HOG"])
+    def test_run_once_bitwise_identical(self, quadratic, cost_model, algorithm):
+        base = make_run_config(algorithm=algorithm, m=4, seed=31)
+        plain = run_once(quadratic, cost_model, base)
+        profiled = run_once(
+            quadratic, cost_model, make_run_config(
+                algorithm=algorithm, m=4, seed=31, self_profile=True
+            )
+        )
+        assert_identical(plain, profiled, check_config=False)
+        np.testing.assert_array_equal(
+            plain.report.curve_loss, profiled.report.curve_loss
+        )
+
+    def test_profile_populated_only_when_enabled(self, quadratic, cost_model):
+        plain = run_once(quadratic, cost_model, make_run_config(m=2, seed=5))
+        profiled = run_once(
+            quadratic, cost_model, make_run_config(m=2, seed=5, self_profile=True)
+        )
+        assert plain.profile == {}
+        assert "scheduler.run" in profiled.profile
+        assert profiled.profile["scheduler.run"]["count"] >= 1
+
+    def test_profiler_deactivated_after_run(self, quadratic, cost_model):
+        run_once(quadratic, cost_model, make_run_config(m=2, seed=5, self_profile=True))
+        assert not _profiler.is_active()
+
+    def test_profiler_deactivated_after_failed_run(self, quadratic, cost_model):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_once(
+                quadratic, cost_model,
+                make_run_config(m=2, seed=5, self_profile=True, algorithm="NOPE"),
+            )
+        assert not _profiler.is_active()
+
+    def test_cohort_profiling_neutral_and_scoped(self, quadratic, cost_model):
+        configs = [make_run_config(m=2, seed=s) for s in (1, 2, 3)]
+        plain = run_cohort(quadratic, cost_model, configs)
+        profiled = run_cohort(
+            quadratic, cost_model,
+            [make_run_config(m=2, seed=s, self_profile=True) for s in (1, 2, 3)],
+        )
+        for a, b in zip(plain, profiled):
+            assert_identical(a, b, check_config=False)
+        # Cohort-wide spans (rounds, kernels) land in every opted-in run.
+        assert all("cohort.round" in r.profile for r in profiled)
+        assert all(r.profile == {} for r in plain)

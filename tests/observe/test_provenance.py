@@ -1,0 +1,76 @@
+"""Run-provenance manifests: field coverage, determinism, and the
+timestamped benchmark variant."""
+
+from __future__ import annotations
+
+import json
+import platform
+
+from repro.observe.provenance import (
+    SEED_PROTOCOL,
+    bench_manifest,
+    collect_provenance,
+    config_hash,
+)
+
+from tests.conftest import make_run_config
+
+
+class TestCollectProvenance:
+    def test_environment_fields(self):
+        manifest = collect_provenance()
+        assert manifest["python"] == platform.python_version()
+        assert manifest["numpy"]
+        assert manifest["cpu_count"] >= 1
+        assert manifest["hostname"]
+        assert manifest["seed_protocol"] == SEED_PROTOCOL
+        assert isinstance(manifest["git_dirty"], bool)
+        # sha is either a 40-hex commit or the "unknown" fallback.
+        sha = manifest["git_sha"]
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_config_fields_when_given(self):
+        config = make_run_config(seed=42)
+        manifest = collect_provenance(config)
+        assert manifest["seed"] == 42
+        assert manifest["config_hash"] == config_hash(config)
+
+    def test_per_run_manifest_is_timestamp_free(self):
+        # Determinism contract: two runs of the same config produce
+        # byte-identical records, so the per-run manifest must not
+        # embed wall-clock time.
+        manifest = collect_provenance(make_run_config())
+        assert "timestamp" not in manifest
+        assert collect_provenance(make_run_config()) == manifest
+
+    def test_json_serializable(self):
+        json.dumps(collect_provenance(make_run_config()))
+
+
+class TestConfigHash:
+    def test_stable_for_equal_configs(self):
+        assert config_hash(make_run_config()) == config_hash(make_run_config())
+
+    def test_differs_across_configs(self):
+        assert config_hash(make_run_config(seed=1)) != config_hash(make_run_config(seed=2))
+
+    def test_short_hex(self):
+        digest = config_hash(make_run_config())
+        assert len(digest) == 16
+        int(digest, 16)
+
+
+class TestBenchManifest:
+    def test_adds_timestamp(self):
+        manifest = bench_manifest()
+        assert "timestamp" in manifest
+        assert manifest["python"] == platform.python_version()
+
+    def test_runs_end_to_end_carry_provenance(self, quadratic, cost_model):
+        from repro.harness.runner import run_once
+
+        result = run_once(quadratic, cost_model, make_run_config(m=2))
+        manifest = result.provenance
+        assert manifest["config_hash"] == config_hash(result.config)
+        assert manifest["seed"] == result.config.seed
+        assert "timestamp" not in manifest

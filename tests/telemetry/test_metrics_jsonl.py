@@ -22,7 +22,7 @@ from repro.utils.serialization import result_to_dict
 
 from tests.conftest import make_run_config
 
-#: Every key schema v1 promises (see repro.telemetry.metrics docstring).
+#: Every key schema v1 promised (see repro.telemetry.metrics docstring).
 SCHEMA_V1_KEYS = {
     "virtual_time", "wall_seconds", "n_updates", "n_dropped",
     "cas_failure_rate", "mean_lock_wait", "staleness", "staleness_values",
@@ -30,6 +30,10 @@ SCHEMA_V1_KEYS = {
     "pool_hits", "pool_misses", "pool_trimmed", "reclaim_events", "memory_timeline",
     "retry_occupancy", "final_accuracy", "probes",
 }
+
+#: Schema v2 = v1 plus the observability keys (wall-phase split,
+#: self-profiler summary, provenance manifest).
+SCHEMA_V2_KEYS = SCHEMA_V1_KEYS | {"wall_phases", "profile", "provenance"}
 
 
 @pytest.fixture(scope="module")
@@ -56,13 +60,13 @@ def cost_model():
 
 
 class TestRunMetrics:
-    def test_schema_v1_keys_complete(self, result):
-        assert set(result.metrics) == SCHEMA_V1_KEYS
+    def test_schema_keys_complete(self, result):
+        assert set(result.metrics) == SCHEMA_V2_KEYS
         assert result.metrics.schema_version == SCHEMA_VERSION
 
     def test_mapping_interface(self, result):
         metrics = result.metrics
-        assert len(metrics) == len(SCHEMA_V1_KEYS)
+        assert len(metrics) == len(SCHEMA_V2_KEYS)
         assert metrics["n_updates"] == result.n_updates
         assert dict(metrics)["virtual_time"] == result.virtual_time
         with pytest.raises(KeyError):
@@ -106,7 +110,7 @@ class TestFlatPayload:
         nested 'metrics' object."""
         payload = result_to_dict(result)
         assert "metrics" not in payload
-        assert SCHEMA_V1_KEYS <= set(payload)
+        assert SCHEMA_V2_KEYS <= set(payload)
         assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["status"] == result.status.value
         assert payload["config"]["algorithm"] == result.config.algorithm
@@ -171,3 +175,57 @@ class TestJsonl:
         rows = read_jsonl(write_jsonl([result], tmp_path / "a.jsonl"))
         path = write_jsonl(rows, tmp_path / "b.jsonl")
         assert len(read_jsonl(path)) == 1
+
+
+class TestSchemaMigration:
+    """Archived v1 JSONL keeps loading after the v2 bump; rows from a
+    *future* schema fail with a named error, not a KeyError deep in an
+    analysis loop."""
+
+    def _v1_row(self, result) -> dict:
+        row = json.loads(result_to_line(result))
+        row["schema_version"] = 1
+        for key in ("wall_phases", "profile", "provenance"):
+            row.pop(key, None)
+        return row
+
+    def test_v1_rows_migrate_on_read(self, result, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        path.write_text(json.dumps(self._v1_row(result)) + "\n")
+        (row,) = read_jsonl(path)
+        assert row["schema_version"] == SCHEMA_VERSION
+        assert row["profile"] == {}
+        assert row["provenance"] == {}
+        assert set(row["wall_phases"]) == {"setup", "simulate", "teardown"}
+        assert all(np.isnan(v) for v in row["wall_phases"].values())
+        # The v1 payload itself is untouched by the migration.
+        assert row["n_updates"] == result.n_updates
+
+    def test_migrate_row_is_noop_on_current(self, result):
+        from repro.telemetry import migrate_row
+
+        row = json.loads(result_to_line(result))
+        before = dict(row)
+        assert migrate_row(row) == before
+
+    def test_forward_version_raises_schema_error(self, result, tmp_path):
+        from repro.errors import SchemaVersionError
+
+        path = tmp_path / "future.jsonl"
+        row = json.loads(result_to_line(result))
+        row["schema_version"] = SCHEMA_VERSION + 7
+        path.write_text(json.dumps(row) + "\n")
+        with pytest.raises(SchemaVersionError) as excinfo:
+            read_jsonl(path)
+        message = str(excinfo.value)
+        assert "future.jsonl" in message
+        assert str(SCHEMA_VERSION + 7) in message
+        assert f"<= {SCHEMA_VERSION}" in message
+
+    def test_non_strict_passes_future_rows_through(self, result, tmp_path):
+        path = tmp_path / "future.jsonl"
+        row = json.loads(result_to_line(result))
+        row["schema_version"] = SCHEMA_VERSION + 7
+        path.write_text(json.dumps(row) + "\n")
+        (loose,) = read_jsonl(path, strict=False)
+        assert loose["schema_version"] == SCHEMA_VERSION + 7
