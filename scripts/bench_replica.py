@@ -20,16 +20,25 @@ and records into ``BENCH_replica.json``:
    identical* to the serial ones (``n_updates``, ``virtual_time``,
    final loss, status per replica). Replica vectorization changes how
    floats are batched through BLAS, never which floats are computed.
+3. **Per-layer-kind time split** — one extra (untimed) cohort run per
+   workload with ``self_profile`` on, reporting where kernel wall time
+   goes (``kernel.dense``, ``kernel.conv2d``, ``kernel.maxpool2d``,
+   ...) as ``layer_split``.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_replica.py
     PYTHONPATH=src python scripts/bench_replica.py --smoke
+    PYTHONPATH=src python scripts/bench_replica.py --smoke --workload cnn
+    PYTHONPATH=src python scripts/bench_replica.py --grid-smoke
 
 Smoke mode runs a tiny cohort, asserts bitwise identity for all four
 algorithms and speedup >= 1.0 on the timed workload, and exits nonzero
 on violation — the CI gate that the lockstep engine never silently
-regresses or diverges.
+regresses or diverges. ``--workload cnn`` smokes the conv/pool-stacked
+kernel path at K=11. ``--grid-smoke`` instead gates the grid-column
+super-cohort: a merged η column (several step sizes × seeds in ONE
+cohort) must be bitwise identical to per-config ``run_once``.
 """
 
 from __future__ import annotations
@@ -39,6 +48,7 @@ import json
 import os
 import sys
 import time
+from dataclasses import replace
 
 import numpy as np
 
@@ -102,6 +112,20 @@ def identity_of(result) -> tuple:
     )
 
 
+def layer_split(problem, cost, configs) -> dict:
+    """One untimed cohort run with the self-profiler on; returns the
+    ``kernel.*`` span totals (seconds) so the report shows where the
+    stacked wall time goes per layer kind."""
+    profiled = [replace(c, self_profile=True) for c in configs]
+    results = run_cohort(problem, cost, profiled)
+    profile = results[0].metrics["profile"]
+    return {
+        name: round(row["total_s"], 4)
+        for name, row in profile.items()
+        if name.startswith("kernel.")
+    }
+
+
 def bench_workload(workload, replicas: int, reps: int, *,
                    identity_updates: int | None = None) -> dict:
     """Time serial vs cohort at K=``replicas`` and gate identity on all
@@ -140,6 +164,7 @@ def bench_workload(workload, replicas: int, reps: int, *,
         "pair_speedups": [round(s, 3) for s in pair_speedups],
         "median_pair_speedup": round(float(np.median(pair_speedups)), 3),
         "bitwise_identical": serial_ids == cohort_ids,
+        "layer_split": layer_split(problem, cost, configs),
         "per_algorithm": {},
     }
 
@@ -159,17 +184,61 @@ def bench_workload(workload, replicas: int, reps: int, *,
     return row
 
 
+#: Smoke workloads by architecture. The CNN smoke runs at K=11 so the
+#: conv/pool kernel path is gated at the paper's full cohort width.
+SMOKE_WORKLOADS = {
+    "mlp": (("mlp_b8_m4_smoke", "mlp", 8, 4, 90), 3, 40),
+    "cnn": (("cnn_b8_m4_smoke", "cnn", 8, 4, 24), 11, 12),
+}
+
+
+def grid_smoke() -> int:
+    """Gate the grid-column super-cohort: a full η column (|η| step
+    sizes × K seeds at fixed algorithm/m) merged into ONE cohort must
+    be bitwise identical to per-config ``run_once``."""
+    problem, cost = build_problem("mlp", 8)
+    etas = (0.01, 0.05, 0.1)
+    configs = [
+        RunConfig(
+            algorithm="LSH_ps1", m=4, eta=eta, seed=seed,
+            epsilons=(1e-6,),
+            eval_interval=150 * (cost.tc + cost.tu) / 4,
+            max_updates=40, max_virtual_time=1e18,
+        )
+        for eta in etas for seed in (7, 8)
+    ]
+    serial = [identity_of(run_once(problem, cost, c)) for c in configs]
+    merged = [identity_of(r) for r in run_cohort(problem, cost, configs)]
+    ok = serial == merged
+    print(f"[grid-smoke] merged eta column ({len(etas)} etas x 2 seeds, "
+          f"one cohort of {len(configs)}): bitwise_identical={ok}")
+    if not ok:
+        print("FAIL: merged grid column diverged from per-box runs",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="tiny gated run: speedup >= 1.0 and bitwise "
                              "identity, exit nonzero on violation")
+    parser.add_argument("--workload", choices=sorted(SMOKE_WORKLOADS),
+                        default="mlp",
+                        help="smoke workload architecture (default mlp; "
+                             "cnn gates the conv/pool kernels at K=11)")
+    parser.add_argument("--grid-smoke", action="store_true",
+                        help="gate the merged eta-column super-cohort "
+                             "against per-config run_once")
     parser.add_argument("--replicas", type=int, default=11,
                         help="cohort size K (default 11, the paper's seed count)")
     parser.add_argument("--reps", type=int, default=8,
                         help="timed serial+cohort pairs per workload")
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args()
+
+    if args.grid_smoke:
+        return grid_smoke()
 
     from repro.observe.provenance import bench_manifest
 
@@ -184,8 +253,9 @@ def main() -> int:
     }
 
     if args.smoke:
-        workload = ("mlp_b8_m4_smoke", "mlp", 8, 4, 90)
-        row = bench_workload(workload, replicas=3, reps=1, identity_updates=40)
+        workload, replicas, id_updates = SMOKE_WORKLOADS[args.workload]
+        row = bench_workload(workload, replicas=replicas, reps=1,
+                             identity_updates=id_updates)
         payload["workloads"].append(row)
         print(f"[smoke] {row['workload']} K={row['replicas']}: "
               f"serial {row['serial_steps_per_sec']} -> cohort "

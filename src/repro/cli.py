@@ -457,6 +457,7 @@ def _print_analysis(row: dict) -> None:
         ["virtual time [s]", _fmt(row.get("virtual_time", float("nan")))],
         ["CAS failure rate", _fmt(row.get("cas_failure_rate", float("nan")))],
         ["mean lock wait [s]", _fmt(row.get("mean_lock_wait", float("nan")))],
+        ["kernel fallbacks", row.get("kernel_fallbacks", 0)],
     ]
     print(render_table(["metric", "value"], rows, title=label))
     probes = row.get("probes", {}) or {}

@@ -144,6 +144,8 @@ class Algorithm(abc.ABC):
         # batchable task, task.run IS the gradient function, so serial
         # and replica-stacked runs draw identical batch sequences.
         task = ctx.problem.make_grad_task(rng)
+        if task is not None:
+            task.bind_probes(ctx.probes)
         grad_fn = task.run if task is not None else ctx.problem.make_grad_fn(rng)
         return WorkerHandle(
             index=index,

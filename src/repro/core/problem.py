@@ -204,7 +204,10 @@ class DLGradTask(GradTask):
     replicas' batches in stacked kernel calls.
     """
 
-    __slots__ = ("problem", "network", "batcher", "workspace", "x_buf", "y_buf", "stack_key")
+    __slots__ = (
+        "problem", "network", "batcher", "workspace", "x_buf", "y_buf",
+        "stack_key", "probes",
+    )
 
     def __init__(self, problem: DLProblem, rng: np.random.Generator) -> None:
         self.problem = problem
@@ -222,6 +225,7 @@ class DLGradTask(GradTask):
         # corpus against the same network — the precondition for fusing
         # their forward/backward passes into one stacked call.
         self.stack_key = (id(problem), self.batcher.batch_size, np.dtype(problem.dtype))
+        self.probes = None
 
     def run(self, theta: np.ndarray, out: np.ndarray) -> None:
         idx = self.batcher.next_batch_indices()
@@ -235,10 +239,15 @@ class DLGradTask(GradTask):
     def stage(self) -> np.ndarray:
         return self.batcher.next_batch_indices()
 
-    def make_kernel(self, kmax: int):
+    def make_kernel(self, kmax: int, arena=None):
         from repro.nn.replica import ReplicaKernel  # local import avoids a cycle
 
-        return ReplicaKernel.build(self, kmax)
+        return ReplicaKernel.build(self, kmax, arena=arena)
+
+    def kernel_fallback_kind(self) -> str:
+        from repro.nn.replica import ReplicaKernel  # local import avoids a cycle
+
+        return ReplicaKernel.reject_reason(self) or "unstackable"
 
 
 class SparseLogisticProblem(Problem):

@@ -119,7 +119,10 @@ class SweepGrid:
         ``workers`` fans the whole sweep — every (cell, seed) pair at
         once, not cell-by-cell — over a process pool (default: serial,
         or ``REPRO_WORKERS``); ``replicas`` batches each cell's repeats
-        into lockstep cohorts (default: 1, or ``REPRO_REPLICAS``).
+        into lockstep cohorts (default: 1, or ``REPRO_REPLICAS``) —
+        same-shape cells (the η column at fixed algorithm/m) merge into
+        one super-cohort when ``replicas`` allows, so a grid column
+        runs as a single stacked kernel stream.
         Result order and contents are identical to the serial sweep.
         """
         from repro.harness.parallel import map_runs, resolve_replicas, resolve_workers

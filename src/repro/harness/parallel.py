@@ -11,8 +11,11 @@ since each ``run_once`` derives every RNG stream from its config's seed
 via :class:`repro.utils.rng.RngFactory`).
 
 Orthogonally to processes, **replica batching** groups same-shape
-configs (identical except for their seed) into lockstep cohorts of up
-to ``replicas`` runs that execute inside *one* process with stacked
+configs (identical except for their seed and step size η — η never
+enters the gradient math, each replica applies its own in
+``step_from``, so a sweep's whole η grid column at fixed m merges into
+one super-cohort of K×|η| stacked replicas) into lockstep cohorts of
+up to ``replicas`` runs that execute inside *one* process with stacked
 gradient kernels (:func:`repro.harness.runner.run_cohort`). The two
 compose: cohorts batch within a worker, chunks spread across workers.
 
@@ -165,15 +168,22 @@ def plan_cohorts(configs: Sequence["RunConfig"], replicas: int) -> list[list[int
     """Group config *indices* into cohort chunks of at most ``replicas``.
 
     Configs are cohort-compatible when they differ only in seed (the
-    repeated-seed protocol's shape); each compatibility group is chunked
-    in first-appearance order, so results scatter back into the caller's
-    ordering deterministically. Singleton chunks are fine — the runner
-    routes them through the plain serial path.
+    repeated-seed protocol's shape) and/or step size η: every tensor
+    shape of a run is fixed by the remaining fields, and η only scales
+    each replica's own ``step_from`` — the stacked gradient kernels
+    never see it. A sweep's grid column (all η at fixed algorithm/m)
+    therefore merges into one compatibility group of K×|η| replicas.
+    Each group is chunked in first-appearance order, so results scatter
+    back into the caller's ordering deterministically. Singleton chunks
+    are fine — the runner routes them through the plain serial path.
     """
     groups: dict = {}
     order = []
     for i, config in enumerate(configs):
-        key = replace(config, seed=0)
+        # Canonical seed/η: both fields are simulation inputs applied
+        # privately per replica, never batch-shape inputs. eta=1.0 is
+        # safe as the canonical value (RunConfig validates eta > 0).
+        key = replace(config, seed=0, eta=1.0)
         bucket = groups.get(key)
         if bucket is None:
             bucket = groups[key] = []

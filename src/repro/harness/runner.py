@@ -363,9 +363,12 @@ def run_cohort(problem: Problem, cost: CostModel, configs: list[RunConfig]) -> l
     """Execute several same-shape configs as one lockstep cohort.
 
     The configs typically come from :func:`repeated_configs` — the same
-    workload and algorithm under different seeds. Each run keeps its own
-    scheduler, RNG streams, and model state; only the gradient
-    *arithmetic* is batched across replicas
+    workload and algorithm under different seeds — or from a sweep's
+    merged grid column (different η too: η scales each replica's own
+    updates, never the batched gradient math, so same-shape boxes fuse
+    into one K×|η| super-cohort — see ``parallel.plan_cohorts``). Each
+    run keeps its own scheduler, RNG streams, and model state; only the
+    gradient *arithmetic* is batched across replicas
     (:class:`repro.nn.replica.ReplicaKernel`), so every result is
     bitwise identical to its :func:`run_once` counterpart — except
     ``wall_seconds``, which reports the shared cohort wall time (as with

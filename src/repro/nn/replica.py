@@ -4,9 +4,10 @@ When :class:`repro.sim.replica.LockstepCohort` advances K replica
 simulations in lockstep, every round harvests up to K pending
 :class:`~repro.sim.grad.GradCompute` requests whose tasks share a
 ``stack_key`` — same problem, same batch size, same dtype, and (because
-replicas differ only in seed) the same network. A :class:`ReplicaKernel`
-executes such a group as *stacked* NumPy calls over a replica axis
-instead of K interpreter round-trips through ``loss_and_grad``.
+replicas differ only in seed or step size) the same network. A
+:class:`ReplicaKernel` executes such a group as *stacked* NumPy calls
+over a replica axis instead of K interpreter round-trips through
+``loss_and_grad``.
 
 Bitwise identity
 ----------------
@@ -15,31 +16,57 @@ identical** to its serial run, so the kernel only fuses operations whose
 stacked form performs the exact same floating-point work per replica:
 
 * **Elementwise ops stack freely.** ReLU forward/backward, the softmax
-  shift/exp/divide chain, and the gather are elementwise (or row-local)
-  — applying them to a ``(K*N, ...)`` block is the same arithmetic per
+  shift/exp/divide chain, the gathers/scatters (``copyto``,
+  ``take_along_axis`` / ``put_along_axis``), the row-local argmax, and
+  the conv input-gradient slice-adds are elementwise (or row-local) —
+  applying them to a ``(K*N, ...)`` block is the same arithmetic per
   row as K separate ``(N, ...)`` calls.
 * **GEMMs stay per-replica.** Each replica has its own ``theta``, so
-  the dense matmuls loop over replicas, reading weight views through
-  each task's workspace — zero staging of ``theta`` or the gradient
-  (a fully stacked ``(K, d)`` staging path was measured slower than
-  serial; the wins are elsewhere).
+  the dense and conv matmuls/einsums loop over replicas. Every
+  per-replica operand is a leading-axis slice of a stacked buffer whose
+  shape *and strides* equal the serial operand's, so BLAS sees the same
+  problem and reduces in the same order.
+* **Conv2D stacks its im2col.** One ``sliding_window_view`` +
+  transpose-``copyto`` fills a K-stacked ``(K, N, OH*OW, C*kh*kw)``
+  patch slab; the filter matmuls loop per replica over contiguous
+  slices of it (exactly the serial ``cols`` layout); one stacked
+  transpose-``copyto`` produces all replicas' feature maps. Backward
+  mirrors it: per-replica ``einsum``/``matmul`` (the contraction-path
+  cache is shared with the serial layer — paths depend on shapes only)
+  plus the per-replica multi-axis bias sum (kept serial-shaped: a
+  stacked ``(K, N, F, OH, OW)`` reduction would reassociate), then one
+  stacked zero-fill + slice-add scatter for the input gradient.
+* **MaxPool2D stacks wholesale.** Tiling, argmax (first-max
+  tie-breaking is per row, hence per replica), ``take_along_axis``,
+  and the backward ``put_along_axis`` / un-tiling are all row-local;
+  per-replica argmax indices route each replica's gradient exactly as
+  its serial run would.
 * **The first layer's input gradient is skipped.** The serial backward
   computes layer 0's ``d loss / d input`` and discards it
   (``Network.loss_and_grad`` never uses the final conduit); for the
-  paper's MLP this matmul is the single most expensive op in the whole
-  step, and skipping it changes no result.
+  paper's CNN this kills conv 0's ``gcols`` matmul and scatter, the
+  most expensive backward ops in the step, and changes no result.
 * **The loss scalar is skipped.** Worker bodies discard the return of
   their gradient function; the kernel computes only the logits
   gradient. (The ``picked``/``log`` reads in the serial loss do not
   touch the logits buffer, so skipping them is bit-neutral.)
-* **Conv/pool layers fall back per replica.** Their forward/backward
-  run through each task's own serial workspace buffers — bitwise by
-  construction — while the surrounding dense/softmax stages still
-  batch.
 
-``build`` returns ``None`` whenever any precondition fails (unsupported
-layer kind, non-dense head, dtype mismatch between the corpus and the
-workspace); the cohort then simply executes that group serially.
+Scratch slabs come from the cohort's :class:`~repro.sim.arena.
+BufferArena` when one is supplied (``build(..., arena=...)``): the
+kernel acquires flat buffers, views them at stacked shapes, and
+:meth:`ReplicaKernel.release` returns them when the cohort rebuilds
+with more headroom — the conv path allocates nothing per step. The
+cohort's arena is deliberately *not* wired to any per-replica
+``MemoryAccountant``: kernel slabs are host-side execution scratch, and
+accounting them would perturb each replica's ``pool_*`` metrics away
+from its serial run.
+
+``build`` returns ``None`` whenever any precondition fails
+(:meth:`ReplicaKernel.reject_reason`: unsupported layer kind, non-dense
+head, dtype mismatch between the corpus and the workspace); the cohort
+then executes that group serially and emits one ``kernel_fallback``
+probe event per de-vectorized request, so silent fallbacks are
+observable in ``metrics["kernel_fallbacks"]``.
 """
 
 from __future__ import annotations
@@ -50,9 +77,10 @@ from repro.observe import profiler as _profiler
 
 __all__ = ["ReplicaKernel"]
 
-#: Layer kinds the plan walker understands. Anything else (e.g. the
-#: stateful Dropout layer, whose shared RNG stream is order-sensitive)
-#: disables stacking for the whole network.
+#: Layer kinds the plan walker stacks. Anything else (e.g. a stateful
+#: dropout layer, whose shared RNG stream is order-sensitive) disables
+#: stacking for the whole network — ``build`` declines and the cohort
+#: runs that group serially, emitting ``kernel_fallback`` events.
 _SUPPORTED_KINDS = frozenset({"dense", "relu", "flatten", "conv2d", "maxpool2d"})
 
 
@@ -62,27 +90,45 @@ class ReplicaKernel:
     One kernel instance is shared by every task in a cohort with the
     same key; it holds only per-problem state (corpus references, the
     network, and its own ``(kmax, N, ...)`` stacking buffers), never
-    per-task state — per-task buffers (weight views, conv scratch) come
-    in through each :class:`~repro.core.problem.DLGradTask`.
+    per-task state — per-task buffers (weight views, serial-fallback
+    scratch) come in through each
+    :class:`~repro.core.problem.DLGradTask`.
     """
 
     @classmethod
-    def build(cls, task, kmax: int) -> "ReplicaKernel | None":
-        """A kernel for ``task``'s stack key, or None if unsupported."""
+    def reject_reason(cls, task) -> str | None:
+        """Why this task cannot stack, or None if it can.
+
+        The returned string feeds the ``kernel_fallback`` event's
+        ``kind`` field: ``"dtype"`` for a corpus/workspace dtype
+        mismatch, the offending layer kind for an unsupported layer,
+        ``"head:<kind>"`` for a non-dense logits head.
+        """
+        problem = task.problem
+        if np.dtype(problem.train_x.dtype) != task.workspace.dtype:
+            return "dtype"  # serial path would convert-copy the batch
+        kinds = [layer.kind for layer in task.network.layers]
+        for kind in kinds:
+            if kind not in _SUPPORTED_KINDS:
+                return kind
+        if kinds[-1] != "dense":
+            return f"head:{kinds[-1]}"  # softmax-CE fusion needs dense logits
+        return None
+
+    @classmethod
+    def build(cls, task, kmax: int, arena=None) -> "ReplicaKernel | None":
+        """A kernel for ``task``'s stack key, or None if unsupported.
+
+        ``arena`` optionally supplies the stacking slabs (see the
+        module docstring); without one the kernel allocates directly.
+        """
         if kmax < 2:
             return None  # nothing to stack
-        problem = task.problem
-        network = task.network
-        if np.dtype(problem.train_x.dtype) != task.workspace.dtype:
-            return None  # serial path would convert-copy the batch
-        kinds = [layer.kind for layer in network.layers]
-        if any(kind not in _SUPPORTED_KINDS for kind in kinds):
+        if cls.reject_reason(task) is not None:
             return None
-        if kinds[-1] != "dense":
-            return None  # softmax-CE fusion expects a dense logits head
-        return cls(task, kmax)
+        return cls(task, kmax, arena=arena)
 
-    def __init__(self, task, kmax: int) -> None:
+    def __init__(self, task, kmax: int, arena=None) -> None:
         problem = task.problem
         network = task.network
         self.network = network
@@ -91,37 +137,41 @@ class ReplicaKernel:
         self.batch = task.batcher.batch_size
         self.dtype = task.workspace.dtype
         self.kmax = int(kmax)
+        self._arena = arena
+        self._slabs: list[np.ndarray] = []
         n, km, dt = self.batch, self.kmax, self.dtype
         in_shape = self.train_x.shape[1:]
         # Stacked batch gather: one take() fills all replicas' batches.
-        self._x3 = np.empty((km, n) + in_shape, dtype=dt)
+        self._x3 = self._alloc((km, n) + in_shape, dt)
         self._xflat = self._x3.reshape((km * n,) + in_shape)
-        self._idx = np.empty(km * n, dtype=np.intp)
-        self._y = np.empty(km * n, dtype=self.train_y.dtype)
+        self._idx = self._alloc((km * n,), np.intp)
+        self._y = self._alloc((km * n,), self.train_y.dtype)
         self._rows = np.arange(km * n)
         # (K*N, 1) row statistic for the softmax (max, then denominator).
-        self._rowstat = np.empty((km * n, 1), dtype=dt)
+        self._rowstat = self._alloc((km * n, 1), dt)
 
         # --- plan: one step per layer, with stacked buffers where the
         # activation conduit is stacked. ``stacked`` mirrors, at build
         # time, exactly the conduit state the executor tracks at run
-        # time, so buffer shapes always match.
+        # time, so buffer shapes always match. Every step tuple ends
+        # with its profiler span name (constant strings: the per-kind
+        # time split costs nothing when no profiler is active).
         steps: list[tuple] = []
         stacked = True  # the gathered input batch is stacked
         for i, layer in enumerate(network.layers):
-            layer_in, _ = network.layer_shapes[i]
+            layer_in, layer_out = network.layer_shapes[i]
             kind = layer.kind
             if kind == "dense":
-                out3 = np.empty((km, n, layer.units), dtype=dt)
+                out3 = self._alloc((km, n, layer.units), dt)
                 # Layer 0's input gradient is computed-and-discarded on
                 # the serial path; the kernel skips it outright.
-                gin3 = None if i == 0 else np.empty((km, n, layer_in[0]), dtype=dt)
+                gin3 = None if i == 0 else self._alloc((km, n, layer_in[0]), dt)
                 # Stacked bias-gradient landing zone: one (k, units)
                 # reduction replaces k per-replica sums (same axis
                 # length, same accumulation order → bitwise identical),
                 # then each row is copied into that replica's gb view.
-                gb3 = np.empty((km, layer.units), dtype=dt)
-                steps.append(("dense", i, layer, out3, gin3, gb3))
+                gb3 = self._alloc((km, layer.units), dt)
+                steps.append(("dense", i, layer, out3, gin3, gb3, "kernel.dense"))
                 stacked = True
             elif kind == "relu":
                 if stacked:
@@ -130,15 +180,54 @@ class ReplicaKernel:
                     # 1.0/0.0, and x * 1.0f == x, x * 0.0f == ±0.0 —
                     # bit-for-bit what the bool mask's promotion gives —
                     # while skipping the bool→float convert per multiply.
-                    mask3 = np.empty(full, dtype=dt)
-                    out3 = np.empty(full, dtype=dt)
-                    steps.append(("relu_s", i, layer, mask3, out3))
+                    mask3 = self._alloc(full, dt)
+                    out3 = self._alloc(full, dt)
+                    steps.append(("relu_s", i, layer, mask3, out3, "kernel.relu"))
                 else:
-                    steps.append(("perk", i, layer))
+                    steps.append(("perk", i, layer, None, "kernel.perk"))
             elif kind == "flatten":
-                steps.append(("flatten", i, layer, layer_in))
-            else:  # conv2d / maxpool2d: per-replica fallback
-                steps.append(("perk", i, layer))
+                steps.append(("flatten", i, layer, layer_in, "kernel.flatten"))
+            elif kind == "conv2d":
+                c, h, w = layer_in
+                f, oh, ow = layer_out
+                kh, kw = layer.kernel
+                p, ckk = oh * ow, c * kh * kw
+                # The K-stacked im2col slab and its companions. Each
+                # per-replica slice is contiguous with exactly the
+                # serial workspace buffer's layout.
+                cols4 = self._alloc((km, n, p, ckk), dt)
+                mm4 = self._alloc((km, n, p, f), dt)
+                out5 = self._alloc((km, n, f, oh, ow), dt)
+                if i == 0:
+                    gcols4 = gx5 = None  # input gradient skipped
+                else:
+                    gcols4 = self._alloc((km, n, p, ckk), dt)
+                    gx5 = self._alloc((km, n, c, h, w), dt)
+                bufs = (cols4, mm4, out5, gcols4, gx5, (c, h, w, f, oh, ow, kh, kw))
+                steps.append(("conv_s", i, layer, bufs, "kernel.conv2d"))
+                stacked = True
+            elif kind == "maxpool2d":
+                c, h, w = layer_in
+                _, oh, ow = layer_out
+                ph, pw = layer.pool
+                tiles6 = self._alloc((km, n, c, oh, ow, ph * pw), dt)
+                idx5 = self._alloc((km, n, c, oh, ow), np.intp)
+                if i == 0:
+                    gtiles6 = gx5 = None  # input gradient skipped
+                else:
+                    gtiles6 = self._alloc((km, n, c, oh, ow, ph * pw), dt)
+                    gx5 = self._alloc((km, n, c, h, w), dt)
+                bufs = (tiles6, idx5, gtiles6, gx5, (c, h, w, oh, ow, ph, pw))
+                steps.append(("pool_s", i, layer, bufs, "kernel.maxpool2d"))
+                stacked = True
+            else:
+                # Guarded escape hatch: run an in-plan layer per replica
+                # through its own serial workspace (bitwise by
+                # construction) while the surrounding stages still
+                # stack. Unreachable for the kinds above — ``build``
+                # rejects unknown kinds outright — but kept so a future
+                # partially-stackable layer has a correct fallback.
+                steps.append(("perk", i, layer, None, "kernel.perk"))
                 stacked = False
         self._steps = steps
         n_layers = len(network.layers)
@@ -149,23 +238,60 @@ class ReplicaKernel:
         self._logits = None
 
     # ------------------------------------------------------------------
+    def _alloc(self, shape: tuple, dtype) -> np.ndarray:
+        """A kernel buffer: arena-recycled (and tracked for
+        :meth:`release`) when the cohort supplied an arena, a plain
+        ``np.empty`` otherwise."""
+        if self._arena is None:
+            return np.empty(shape, dtype=dtype)
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        flat = self._arena.acquire(size, dtype)
+        self._slabs.append(flat)
+        return flat.reshape(shape)
+
+    def release(self) -> None:
+        """Return every arena-backed slab (called when the cohort
+        rebuilds the kernel with more headroom)."""
+        if self._arena is None:
+            return
+        for flat in self._slabs:
+            self._arena.release(flat)
+        self._slabs.clear()
+
+    @staticmethod
+    def _emit_fallback(gc, kind: str, replicas: int) -> None:
+        """Report one de-vectorized request on its replica's bus."""
+        bus = getattr(gc.task, "probes", None)
+        if bus is not None:
+            bus.kernel_fallback(kind, replicas)
+
+    # ------------------------------------------------------------------
     def execute(self, gcs: list) -> None:
         """Run every request's gradient; stacked where profitable.
 
         Falls back to per-request serial execution for singleton groups
-        and for any dtype the serial path would itself not run through
-        the workspace (keeping the fallback on the serial instruction
-        sequence).
+        (silently: a lone survivor is not a de-vectorization) and — with
+        a ``kernel_fallback`` event per request — for groups that
+        outgrow ``kmax`` or carry a dtype the serial path would itself
+        not run through the workspace (keeping the fallback on the
+        serial instruction sequence).
         """
         k = len(gcs)
-        if k == 1 or k > self.kmax:
+        if k == 1:
+            gcs[0].execute()
+            return
+        if k > self.kmax:
             for gc in gcs:
+                self._emit_fallback(gc, "overflow", k)
                 gc.execute()
             return
         dt = self.dtype
         for gc in gcs:
             if gc.theta.dtype != dt or gc.out.dtype != dt:
                 for g in gcs:
+                    self._emit_fallback(g, "dtype", k)
                     g.execute()
                 return
         prof = _profiler.ACTIVE
@@ -175,6 +301,7 @@ class ReplicaKernel:
         kn = k * n
         # Stage every replica's batch indices (each from its own RNG
         # stream, in replica order — the draws a serial run would make).
+        t0 = prof.start()
         idx = self._idx[:kn]
         pos = 0
         for task in tasks:
@@ -182,6 +309,7 @@ class ReplicaKernel:
             pos += n
         self.train_x.take(idx, axis=0, out=self._xflat[:kn])
         self.train_y.take(idx, axis=0, out=self._y[:kn])
+        prof.stop("kernel.stage", t0)
         network = self.network
         params = [
             task.workspace.cached_views(gc.theta, network._all_param_views)
@@ -193,7 +321,9 @@ class ReplicaKernel:
         ]
         with np.errstate(over="ignore", invalid="ignore"):
             self._forward(k, tasks, params)
+            t0 = prof.start()
             self._softmax_ce(k)
+            prof.stop("kernel.softmax", t0)
             self._backward(k, tasks, params, grads)
         for gc in gcs:
             if gc.post is not None:
@@ -202,14 +332,17 @@ class ReplicaKernel:
 
     # ------------------------------------------------------------------
     def _forward(self, k: int, tasks: list, params: list) -> None:
+        prof = _profiler.ACTIVE
         fwd_in = self._fwd_in
         caches = self._caches
+        n = self.batch
         cur = self._x3
         stacked = True
         for step in self._steps:
             tag = step[0]
+            t0 = prof.start()
             if tag == "dense":
-                _, i, _layer, out3, _gin3, _gb3 = step
+                _, i, _layer, out3, _gin3, _gb3, _span = step
                 fwd_in[i] = cur
                 for r in range(k):
                     W, b = params[r][i]
@@ -217,21 +350,60 @@ class ReplicaKernel:
                     out3[r] += b
                 cur, stacked = out3, True
             elif tag == "relu_s":
-                _, _i, _layer, mask3, out3 = step
+                _, _i, _layer, mask3, out3, _span = step
                 ck = cur[:k]
                 np.greater(ck, 0, out=mask3[:k])
                 np.multiply(ck, mask3[:k], out=out3[:k])
                 cur, stacked = out3, True
+            elif tag == "conv_s":
+                _, i, _layer, bufs, _span = step
+                cols4, mm4, out5, _gcols4, _gx5, dims = bufs
+                _c, _h, _w, f, oh, ow, kh, kw = dims
+                # One stacked im2col copy: per-replica slices of cols4
+                # are contiguous (N, OH*OW, C*kh*kw) — the serial
+                # ``cols`` layout, so the matmuls below see identical
+                # operands.
+                windows = np.lib.stride_tricks.sliding_window_view(
+                    cur[:k], (kh, kw), axis=(3, 4)
+                )
+                patches = windows.transpose(0, 1, 3, 4, 2, 5, 6)
+                np.copyto(cols4[:k].reshape(patches.shape), patches)
+                for r in range(k):
+                    W, b = params[r][i]
+                    np.matmul(cols4[r], W.T, out=mm4[r])
+                    mm4[r] += b
+                np.copyto(
+                    out5[:k].reshape(k, n, f, oh * ow), mm4[:k].transpose(0, 1, 3, 2)
+                )
+                cur, stacked = out5, True
+            elif tag == "pool_s":
+                _, _i, _layer, bufs, _span = step
+                tiles6, idx5, _gtiles6, _gx5, dims = bufs
+                c, _h, _w, oh, ow, ph, pw = dims
+                cropped = cur[:k, :, :, : oh * ph, : ow * pw]
+                windows = cropped.reshape(k, n, c, oh, ph, ow, pw).transpose(
+                    0, 1, 2, 3, 5, 4, 6
+                )
+                tk = tiles6[:k]
+                np.copyto(tk.reshape(windows.shape), windows)
+                np.argmax(tk, axis=-1, out=idx5[:k])
+                # take_along_axis (not np.max) so the selected element
+                # matches idx exactly even on -0.0 / +0.0 ties; argmax
+                # tie-breaking (first max) is row-local, hence
+                # per-replica identical to serial. The fresh result
+                # array mirrors the serial layer's own allocation.
+                cur = np.take_along_axis(tk, idx5[:k][..., None], axis=-1)[..., 0]
+                stacked = True
             elif tag == "flatten":
-                _, i, _layer, _in_shape = step
+                _, i, _layer, _in_shape, _span = step
                 fwd_in[i] = cur
                 if stacked:
                     # Contiguous stacked conduit: one zero-copy reshape.
                     cur = cur.reshape(cur.shape[0], cur.shape[1], -1)
                 else:
                     cur = [cur[r].reshape(self.batch, -1) for r in range(k)]
-            else:  # perk
-                _, i, layer = step
+            else:  # perk — the guarded per-replica escape hatch
+                _, i, layer, _bufs, _span = step
                 fwd_in[i] = cur
                 outs = []
                 layer_caches = []
@@ -243,6 +415,7 @@ class ReplicaKernel:
                     layer_caches.append(cache)
                 caches[i] = layer_caches
                 cur, stacked = outs, False
+            prof.stop(step[-1], t0)
         self._logits = cur  # stacked (last layer is dense)
 
     def _softmax_ce(self, k: int) -> None:
@@ -265,16 +438,19 @@ class ReplicaKernel:
         self._logits = None
 
     def _backward(self, k: int, tasks: list, params: list, grads: list) -> None:
+        prof = _profiler.ACTIVE
         fwd_in = self._fwd_in
         caches = self._caches
+        n = self.batch
         # The gradient conduit starts at the last dense layer's stacked
         # output buffer, which _softmax_ce turned into dlogits in place.
         g = self._steps[-1][3]
         gstacked = True
         for step in reversed(self._steps):
             tag = step[0]
+            t0 = prof.start()
             if tag == "dense":
-                _, i, _layer, _out3, gin3, gb3 = step
+                _, i, _layer, _out3, gin3, gb3, _span = step
                 x_in = fwd_in[i]
                 # One stacked reduction over the batch axis for every
                 # replica's bias gradient (bitwise-identical to the
@@ -289,23 +465,85 @@ class ReplicaKernel:
                     if gin3 is not None:
                         np.matmul(gr, W.T, out=gin3[r])
                 if gin3 is None:
+                    prof.stop(step[-1], t0)
                     return  # layer 0: serial discards the input gradient
                 g, gstacked = gin3, True
             elif tag == "relu_s":
-                _, _i, _layer, mask3, _out3 = step
+                _, _i, _layer, mask3, _out3, _span = step
                 if gstacked:
                     np.multiply(g[:k], mask3[:k], out=g[:k])
                 else:
                     for r in range(k):
                         np.multiply(g[r], mask3[r], out=g[r])
+            elif tag == "conv_s":
+                _, i, layer, bufs, _span = step
+                cols4, _mm4, _out5, gcols4, gx5, dims = bufs
+                c, _h, _w, f, oh, ow, kh, kw = dims
+                p = oh * ow
+                # Per-replica view with exactly the serial g2 strides
+                # ((F*P, 1, P) elements), so einsum/matmul match bits.
+                g4 = g[:k].reshape(k, n, f, p).transpose(0, 1, 3, 2)
+                paths = layer._einsum_paths  # shared with the serial
+                path_key = (g4.shape[1:], cols4.shape[1:])  # layer: paths
+                path = paths.get(path_key)  # depend on shapes only
+                if path is None:
+                    path = np.einsum_path(
+                        "npf,npk->fk", g4[0], cols4[0], optimize=True
+                    )[0]
+                    paths[path_key] = path
+                for r in range(k):
+                    W = params[r][i][0]
+                    gW, gb = grads[r][i]
+                    g2 = g4[r]
+                    np.einsum("npf,npk->fk", g2, cols4[r], out=gW, optimize=path)
+                    # The multi-axis bias sum stays per replica: a
+                    # stacked (k, N, F, OH, OW) reduction would change
+                    # the pairwise-summation tree, hence the bits.
+                    np.sum(g[r], axis=(0, 2, 3), out=gb)
+                    if gcols4 is not None:
+                        np.matmul(g2, W, out=gcols4[r])
+                if gcols4 is None:
+                    prof.stop(step[-1], t0)
+                    return  # layer 0: serial discards the input gradient
+                # Stacked input-gradient scatter: each (i, j) slice-add
+                # touches each element in the same order as serial.
+                gx5[:k].fill(0)
+                gcv = gcols4[:k].reshape(k, n, oh, ow, c, kh, kw).transpose(
+                    0, 1, 4, 5, 6, 2, 3
+                )
+                for di in range(kh):
+                    for dj in range(kw):
+                        gx5[:k, :, :, di : di + oh, dj : dj + ow] += gcv[:, :, :, di, dj]
+                g, gstacked = gx5, True
+            elif tag == "pool_s":
+                _, _i, _layer, bufs, _span = step
+                _tiles6, idx5, gtiles6, gx5, dims = bufs
+                c, _h, _w, oh, ow, ph, pw = dims
+                if gx5 is None:
+                    prof.stop(step[-1], t0)
+                    return  # layer 0: serial discards the input gradient
+                gtiles6[:k].fill(0)
+                np.put_along_axis(
+                    gtiles6[:k], idx5[:k][..., None], g[:k][..., None], axis=-1
+                )
+                gx5[:k].fill(0)
+                np.copyto(
+                    gx5[:k, :, :, : oh * ph, : ow * pw].reshape(
+                        k, n, c, oh, ph, ow, pw
+                    ),
+                    gtiles6[:k]
+                    .reshape(k, n, c, oh, ow, ph, pw)
+                    .transpose(0, 1, 2, 3, 5, 4, 6),
+                )
+                g, gstacked = gx5, True
             elif tag == "flatten":
-                _, _i, _layer, in_shape = step
+                _, _i, _layer, in_shape, _span = step
                 if gstacked:
                     g = g.reshape((g.shape[0], self.batch) + in_shape)
                 else:
                     g = [g[r].reshape((self.batch,) + in_shape) for r in range(k)]
-            else:  # perk
-                _, i, layer = step
+            else:  # perk — the guarded per-replica escape hatch
+                _, i, layer, _bufs, _span = step
                 layer_caches = caches[i]
                 outs = []
                 for r in range(k):
@@ -319,6 +557,7 @@ class ReplicaKernel:
                         )
                     )
                 g, gstacked = outs, False
+            prof.stop(step[-1], t0)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetics
         return (

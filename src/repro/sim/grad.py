@@ -74,6 +74,11 @@ class GradTask:
     #: one stacked kernel call. None disables batching for this task.
     stack_key: tuple | None = None
 
+    #: The run's ProbeBus, bound by the worker factory so stacked
+    #: executors can emit host-side ``kernel_fallback`` events. None
+    #: (the class default) silently drops them.
+    probes = None
+
     def run(self, theta: np.ndarray, out: np.ndarray) -> None:
         """Compute one stochastic gradient of ``theta`` into ``out``."""
         raise NotImplementedError
@@ -85,11 +90,23 @@ class GradTask:
         per replica, then perform the math jointly."""
         raise NotImplementedError
 
-    def make_kernel(self, kmax: int):
+    def make_kernel(self, kmax: int, arena=None):
         """A stacked executor for up to ``kmax`` same-key tasks, or
         ``None`` if this task cannot be batched (unsupported layer,
-        dtype mismatch, ...). Called once per cohort per ``stack_key``."""
+        dtype mismatch, ...). Called once per cohort per ``stack_key``.
+        ``arena`` is the cohort's :class:`~repro.sim.arena.BufferArena`
+        for the kernel's scratch slabs (kernels allocate directly when
+        it is None)."""
         return None
+
+    def bind_probes(self, bus) -> None:
+        """Attach the run's ProbeBus (for ``kernel_fallback`` events)."""
+        self.probes = bus
+
+    def kernel_fallback_kind(self) -> str:
+        """Why :meth:`make_kernel` declined, for the ``kernel_fallback``
+        event's ``kind`` field (e.g. the unsupported layer kind)."""
+        return "unstackable"
 
 
 class GradCompute:

@@ -2,15 +2,27 @@
 
 The repeated-seed protocol (Section V: every configuration is run over
 many seeds) runs K *independent* discrete-event simulations that differ
-only in their RNG streams. :class:`LockstepCohort` advances them
-together: each round, every live scheduler runs (in cohort mode) until
-it has parked every in-flight :class:`~repro.sim.grad.GradCompute`
-request it can defer (all m workers' compute windows overlap when
-``tc`` dominates the protocol costs, so a round typically harvests
-close to K*m requests, not K) or finishes; the parked requests are
-grouped by their tasks' ``stack_key`` and executed as stacked kernel
-calls (:class:`repro.nn.replica.ReplicaKernel`), then every paused
-scheduler is resumed and the next round begins.
+only in their RNG streams — and a sweep's η column at fixed m differs
+only in a scalar each replica applies privately in ``step_from``, so
+the harness merges whole same-shape grid columns into one cohort too
+(see ``harness.parallel.plan_cohorts``). :class:`LockstepCohort`
+advances the replicas together: each round, every live scheduler runs
+(in cohort mode) until it has parked every in-flight
+:class:`~repro.sim.grad.GradCompute` request it can defer (all m
+workers' compute windows overlap when ``tc`` dominates the protocol
+costs, so a round typically harvests close to K*m requests, not K) or
+finishes; the parked requests are grouped by their tasks'
+``stack_key`` and executed as stacked kernel calls
+(:class:`repro.nn.replica.ReplicaKernel`), then every paused scheduler
+is resumed and the next round begins.
+
+The cohort owns one :class:`~repro.sim.arena.BufferArena` for the
+kernels' stacking slabs: when a round outgrows a kernel and it is
+rebuilt with headroom, the old kernel's slabs are released and mostly
+recycled into the new one. This arena is host-side execution scratch —
+deliberately *not* wired to any replica's ``MemoryAccountant``, so
+every replica's ``pool_hits`` / ``pool_misses`` / ``pool_trimmed``
+metrics stay identical to its serial run.
 
 Replicas share no simulation state — each scheduler owns its queue,
 clock, RNG streams, and model buffers — so the only cross-replica
@@ -29,6 +41,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.observe import profiler as _profiler
+from repro.sim.arena import BufferArena
 from repro.sim.scheduler import Scheduler
 
 __all__ = ["LockstepCohort"]
@@ -52,8 +65,11 @@ class LockstepCohort:
         for scheduler in self.schedulers:
             scheduler.enable_cohort_mode()
         # One kernel (or None for "unsupported") per stack key, built
-        # lazily from the first task seen with that key.
+        # lazily from the first task seen with that key. The arena
+        # recycles kernel slabs across headroom rebuilds (host-side
+        # scratch only — see the module docstring).
         self._kernels: dict = {}
+        self._arena = BufferArena()
         self.rounds = 0
         self.stacked_calls = 0
 
@@ -109,11 +125,30 @@ class LockstepCohort:
             ):
                 # Multi-worker replicas park several requests each, so a
                 # round can outgrow the initial K-sized kernel — rebuild
-                # with headroom rather than serializing the overflow.
-                kernel = requests[0].task.make_kernel(max(kmax, len(requests)))
+                # with headroom rather than serializing the overflow,
+                # recycling the outgrown kernel's slabs via the arena.
+                if kernel is not _UNBUILT and kernel is not None:
+                    kernel.release()
+                kernel = requests[0].task.make_kernel(
+                    max(kmax, len(requests)), arena=self._arena
+                )
                 self._kernels[key] = kernel
             if kernel is None:
+                # Stackable-looking group the kernel builder declined
+                # (unsupported layer, dtype mismatch, ...): execute
+                # serially and make the de-vectorization observable —
+                # one event per request on its own replica's bus.
+                # Singleton groups are excluded: a lone survivor would
+                # have nothing to stack with even on a supported
+                # network, so it is not a de-vectorization.
+                emit = len(requests) > 1
                 for request in requests:
+                    if emit:
+                        bus = getattr(request.task, "probes", None)
+                        if bus is not None:
+                            bus.kernel_fallback(
+                                request.task.kernel_fallback_kind(), len(requests)
+                            )
                     request.execute()
             else:
                 if len(requests) > 1:

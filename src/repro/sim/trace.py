@@ -108,6 +108,10 @@ class TraceRecorder:
         # raw CAS attempts observed via the bus (Leashed-SGD emits one
         # per pointer CAS); evidence that cas_failure_rate is applicable
         self.cas_attempt_count = 0
+        # replica-kernel de-vectorization tally (host-side execution
+        # events: no virtual time, outside the identity contract)
+        self._kernel_fallbacks = 0
+        self._kernel_fallback_kinds: dict[str, int] = {}
         # materialized-record caches (invalidated on append)
         self._updates_view: list[UpdateRecord] | None = []
         self._dropped_view: list[DroppedGradientRecord] | None = []
@@ -214,6 +218,23 @@ class TraceRecorder:
     def on_view_divergence(self, time: float, thread: int, l2: float) -> None:
         """Bus handler for an elastic-consistency measurement."""
         self.add_view_divergence(time, thread, l2)
+
+    def on_kernel_fallback(self, kind: str, replicas: int) -> None:
+        """Bus handler for one serially-executed request that a stacked
+        replica kernel declined (``kind`` names the reason)."""
+        self._kernel_fallbacks += 1
+        kinds = self._kernel_fallback_kinds
+        kinds[kind] = kinds.get(kind, 0) + 1
+
+    @property
+    def kernel_fallbacks(self) -> int:
+        """Total gradient requests that de-vectorized to serial execution."""
+        return self._kernel_fallbacks
+
+    @property
+    def kernel_fallback_kinds(self) -> dict[str, int]:
+        """Fallback tallies keyed by the declining reason/layer kind."""
+        return dict(self._kernel_fallback_kinds)
 
     # -- record-object recording (back-compat) ------------------------
     def record_update(self, record: UpdateRecord) -> None:

@@ -53,6 +53,14 @@ emitting worker's tid):
 ``view_divergence(time, thread, l2)``
     Elastic-consistency measurement (opt-in, see
     ``SGDContext.measure_view_divergence``).
+``kernel_fallback(kind, replicas)``
+    One gradient request executed serially because the replica-stacked
+    kernel de-vectorized (unsupported layer ``kind``, dtype mismatch,
+    group overflow) inside a ``replicas``-request group. Unlike the
+    protocol events above this is a *host-side execution-strategy*
+    event: it carries no virtual time and never fires on the serial
+    path, so its count (``metrics["kernel_fallbacks"]``) is — like
+    ``wall_seconds`` — outside the serial/cohort identity contract.
 """
 
 from __future__ import annotations
@@ -61,7 +69,8 @@ from typing import Callable
 
 from repro.errors import ConfigurationError
 
-#: The closed event vocabulary, in emission order within one SGD step.
+#: The closed event vocabulary, in emission order within one SGD step
+#: (``kernel_fallback`` is out-of-band: a host-side execution event).
 EVENTS = (
     "read_pinned",
     "grad_done",
@@ -72,6 +81,7 @@ EVENTS = (
     "lock_wait",
     "reclaim",
     "view_divergence",
+    "kernel_fallback",
 )
 
 

@@ -12,7 +12,8 @@ Versioning policy:
 * rows written under an **older** schema are migrated forward on read
   (:func:`migrate_row` fills keys later versions added with their
   never-ran / empty defaults — a v1 row gains NaN ``wall_phases``, an
-  empty ``profile`` and an empty ``provenance``);
+  empty ``profile`` and an empty ``provenance``; v1 and v2 rows gain
+  ``kernel_fallbacks`` ``0``);
 * rows written under a **newer or missing** schema raise
   :class:`~repro.errors.SchemaVersionError` (a
   :class:`~repro.errors.ConfigurationError`) under ``strict`` reads —
@@ -56,13 +57,16 @@ def migrate_row(row: dict) -> dict:
 
     v1 -> v2 fills the observability keys with their never-ran / empty
     defaults: ``wall_phases`` all-NaN, ``profile`` ``{}``,
-    ``provenance`` ``{}``.
+    ``provenance`` ``{}``. v2 -> v3 fills ``kernel_fallbacks`` with
+    ``0`` (no stacked kernel existed, so nothing ever de-vectorized).
     """
     version = row.get("schema_version")
     if version == 1:
         row.setdefault("wall_phases", nan_wall_phases())
         row.setdefault("profile", {})
         row.setdefault("provenance", {})
+    if version in (1, 2):
+        row.setdefault("kernel_fallbacks", 0)
         row["schema_version"] = SCHEMA_VERSION
     return row
 

@@ -55,8 +55,19 @@ Keys added in schema v2 (see :mod:`repro.observe`):
                       host facts, seed protocol)
 ====================  =====================================================
 
-v1 rows load after migration (:func:`repro.telemetry.jsonl.migrate_row`
-fills the v2 keys with their never-ran/empty defaults).
+Keys added in schema v3 (replica-stacked kernels, see
+:mod:`repro.nn.replica`):
+
+====================  =====================================================
+``kernel_fallbacks``  gradient requests a replica-stacked kernel declined
+                      and executed serially (``0`` for serial runs and
+                      for cohorts that stayed fully stacked). A host-side
+                      execution tally: like ``wall_seconds`` it is
+                      outside the serial/cohort identity contract.
+====================  =====================================================
+
+Older rows load after migration (:func:`repro.telemetry.jsonl.
+migrate_row` fills the newer keys with their never-ran/empty defaults).
 """
 
 from __future__ import annotations
@@ -65,7 +76,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping
 
 #: Bump on any incompatible change to the key layout above.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _NAN = float("nan")
 
@@ -122,7 +133,7 @@ def collect_run_metrics(
     profile: dict | None = None,
     provenance: dict | None = None,
 ) -> RunMetrics:
-    """Assemble the schema-v2 :class:`RunMetrics` from a finished run's
+    """Assemble the schema-v3 :class:`RunMetrics` from a finished run's
     built-in subscribers plus any attached probes.
 
     ``wall_phases`` splits ``wall_seconds`` into setup / simulate /
@@ -153,6 +164,7 @@ def collect_run_metrics(
         "reclaim_events": getattr(memory, "reclaim_events", 0),
         "memory_timeline": memory.timeline(resolution=100),
         "retry_occupancy": trace.retry_loop_occupancy(resolution=100),
+        "kernel_fallbacks": getattr(trace, "kernel_fallbacks", 0),
         "final_accuracy": final_accuracy,
         "probes": {p.name: p.result() for p in probes},
     }

@@ -94,16 +94,29 @@ class TestPlanCohorts:
         configs = repeated_configs(make_config(), repeats=7)
         assert plan_cohorts(configs, 3) == [[0, 1, 2], [3, 4, 5], [6]]
 
-    def test_seed_is_the_only_ignored_field(self):
+    def test_seed_and_eta_are_the_only_ignored_fields(self):
+        # η never enters the batched gradient math (each replica applies
+        # its own in step_from), so an η straggler joins the cohort.
         a = make_config(seed=1)
         b = make_config(seed=2)
-        c = make_config(seed=3, eta=0.01)  # different shape
-        assert plan_cohorts([a, b, c], 11) == [[0, 1], [2]]
+        c = make_config(seed=3, eta=0.01)  # same shape, different η
+        assert plan_cohorts([a, b, c], 11) == [[0, 1, 2]]
+
+    def test_grid_column_merges_into_one_super_cohort(self):
+        # A sweep's full η column at fixed (algorithm, m): K seeds ×
+        # |η| step sizes, one compatibility group.
+        etas = (0.01, 0.05, 0.1)
+        configs = [
+            make_config(seed=seed, eta=eta) for eta in etas for seed in (1, 2)
+        ]
+        assert plan_cohorts(configs, 11) == [[0, 1, 2, 3, 4, 5]]
+        # The chunk cap still applies to the merged column.
+        assert plan_cohorts(configs, 4) == [[0, 1, 2, 3], [4, 5]]
 
     def test_interleaved_groups_keep_first_appearance_order(self):
-        fast = make_config(eta=0.1)
-        slow = make_config(eta=0.01)
-        configs = [fast, slow, fast.with_seed(2), slow.with_seed(2)]
+        small = make_config(m=2)
+        large = make_config(m=4)
+        configs = [small, large, small.with_seed(2), large.with_seed(2)]
         assert plan_cohorts(configs, 11) == [[0, 2], [1, 3]]
 
     def test_all_distinct_yields_singletons(self):
@@ -125,7 +138,8 @@ class TestReplicaHarness:
 
     def test_map_runs_with_replicas_matches_serial(self, problem):
         configs = repeated_configs(make_config(), repeats=4)
-        # Mixed shapes: a different-eta straggler shares no cohort.
+        # A different-η straggler now merges into the cohort (same
+        # shape); results must still scatter back identically.
         configs.append(replace(configs[0], eta=0.02))
         serial = [identity_of(run_once(problem, COST, c)) for c in configs]
         batched = [

@@ -30,8 +30,8 @@ from repro.sim.scheduler import Scheduler, SchedulerConfig
 
 # ---------------------------------------------------------------------------
 # Tiny problems: small enough that the full identity matrix runs in
-# seconds, structured enough to exercise the stacked (MLP) and the
-# partial-fallback (CNN conv/pool) kernel paths.
+# seconds, structured enough to exercise the dense-stacked (MLP) and
+# the conv/pool-stacked (CNN) kernel paths.
 
 
 def tiny_mlp_problem() -> DLProblem:
@@ -129,6 +129,17 @@ class TestBitwiseIdentity:
         serial = [run_once(problem, COST, c) for c in configs]
         cohort = run_cohort(problem, COST, configs)
         assert [identity_of(r) for r in serial] == [identity_of(r) for r in cohort]
+
+    def test_pool_metrics_match_serial(self):
+        """The cohort's kernel-slab arena is host-side scratch: it must
+        not leak into any replica's per-run pool accounting."""
+        problem = tiny_cnn_problem()
+        configs = make_configs("LSH_ps1", 3, max_updates=10)
+        serial = [run_once(problem, COST, c) for c in configs]
+        cohort = run_cohort(problem, COST, configs)
+        for s, c in zip(serial, cohort):
+            for key in ("pool_hits", "pool_misses", "pool_trimmed"):
+                assert s.metrics[key] == c.metrics[key], key
 
     def test_multi_grad_harvest_stacks_beyond_k(self, monkeypatch):
         """With m workers whose compute windows overlap, rounds harvest
@@ -239,6 +250,140 @@ class TestSchedulerCohortMode:
 
 
 # ---------------------------------------------------------------------------
+class TestStackedConvPool:
+    """Kernel-level bitwise identity of the stacked Conv2D/MaxPool2D
+    path (the sim-level matrix above covers it end-to-end; these pin
+    the gradient *bytes* at the kernel boundary)."""
+
+    def _stacked_vs_serial(self, problem, k: int):
+        tasks = [
+            problem.make_grad_task(np.random.default_rng(100 + r)) for r in range(k)
+        ]
+        kernel = ReplicaKernel.build(
+            problem.make_grad_task(np.random.default_rng(0)), max(k, 2)
+        )
+        assert kernel is not None
+        theta_rng = np.random.default_rng(7)
+        thetas = [problem.init_theta(theta_rng) for _ in range(k)]
+        outs = [np.empty_like(t) for t in thetas]
+        kernel.execute(
+            [
+                GradCompute(t.run, th, o, 1.0, t)
+                for t, th, o in zip(tasks, thetas, outs)
+            ]
+        )
+        for r in range(k):
+            # Fresh same-seeded task: replays replica r's batch draw.
+            ref_task = problem.make_grad_task(np.random.default_rng(100 + r))
+            ref = np.empty_like(thetas[r])
+            ref_task.run(thetas[r], ref)
+            np.testing.assert_array_equal(outs[r], ref)
+
+    @pytest.mark.parametrize("k", [1, 3, 11])
+    def test_conv_backward_bitwise_vs_serial(self, k):
+        self._stacked_vs_serial(tiny_cnn_problem(), k)
+
+    @pytest.mark.parametrize("k", [3, 11])
+    def test_maxpool_tie_breaking_is_deterministic(self, k):
+        """Heavily tied pool windows (quantized values, signed zeros):
+        the stacked argmax must pick the same element per replica as
+        the serial layer, or backward routing silently drifts."""
+        rng = np.random.default_rng(44)
+        net = Network(
+            [Conv2D(2, (2, 2)), ReLU(), MaxPool2D((2, 2)), Flatten(), Dense(3)],
+            input_shape=(1, 7, 7),
+            name="tied_pool",
+        )
+        # Three distinct levels -> nearly every 2x2 window has a tie.
+        x = (rng.integers(0, 3, size=(48, 1, 7, 7)) / 2.0).astype(np.float32)
+        x[x == 0.0] = -0.0  # exercise the -0.0 / +0.0 tie path too
+        y = rng.integers(0, 3, size=48)
+        problem = DLProblem(net, x, y, x[:12], y[:12], batch_size=4, dtype=np.float32)
+        self._stacked_vs_serial(problem, k)
+
+
+# ---------------------------------------------------------------------------
+class TestGridColumnCohorts:
+    """One merged η-column super-cohort == its per-box cohorts == the
+    serial runs (Level 2 of the conv-stacking issue)."""
+
+    def test_merged_eta_column_matches_per_box(self):
+        problem = tiny_mlp_problem()
+        etas = (0.02, 0.05, 0.1)
+        merged_configs = []
+        for eta in etas:
+            merged_configs.extend(make_configs("LSH_ps1", 2, eta=eta))
+        serial = [identity_of(run_once(problem, COST, c)) for c in merged_configs]
+        per_box = []
+        for eta in etas:
+            per_box.extend(
+                identity_of(r)
+                for r in run_cohort(problem, COST, make_configs("LSH_ps1", 2, eta=eta))
+            )
+        merged = [identity_of(r) for r in run_cohort(problem, COST, merged_configs)]
+        assert merged == serial
+        assert merged == per_box
+
+    def test_merged_column_with_stop_and_diverge(self):
+        """A merged column whose replicas exit at different times — one
+        early-stopped, two destroyed by a destructive η — still
+        reproduces every serial outcome."""
+        problem = tiny_mlp_problem()
+        configs = make_configs("LSH_ps1", 2, eta=0.05)
+        configs[1] = replace(
+            configs[1], max_updates=6, eval_interval=(COST.tc + COST.tu) / 2
+        )
+        # Destructive η with a finite virtual-time budget: the loss goes
+        # non-finite, the target is never reached, the budget runs out —
+        # the paper's DIVERGE outcome.
+        configs += [
+            replace(c, max_virtual_time=1.0)
+            for c in make_configs("LSH_ps1", 2, eta=60.0, max_updates=100_000)
+        ]
+        serial = [identity_of(run_once(problem, COST, c)) for c in configs]
+        merged = [identity_of(r) for r in run_cohort(problem, COST, configs)]
+        assert merged == serial
+        assert len({s[3] for s in serial}) > 1  # genuinely mixed outcomes
+
+    def test_cnn_eta_column(self):
+        problem = tiny_cnn_problem()
+        configs = make_configs("ASYNC", 2, eta=0.05, max_updates=8) + make_configs(
+            "ASYNC", 2, eta=0.1, max_updates=8
+        )
+        serial = [identity_of(run_once(problem, COST, c)) for c in configs]
+        merged = [identity_of(r) for r in run_cohort(problem, COST, configs)]
+        assert merged == serial
+
+
+# ---------------------------------------------------------------------------
+class TestKernelFallbackEvents:
+    """De-vectorizations are observable; fully-stacked runs stay silent."""
+
+    @pytest.mark.parametrize("make_problem", [tiny_mlp_problem, tiny_cnn_problem])
+    def test_stock_architectures_never_fall_back(self, make_problem):
+        problem = make_problem()
+        configs = make_configs("LSH_ps1", 3, max_updates=10)
+        for result in run_cohort(problem, COST, configs):
+            assert result.metrics["kernel_fallbacks"] == 0
+
+    def test_dtype_mismatch_cohort_counts_fallbacks(self):
+        rng = np.random.default_rng(0)
+        net = mlp_custom(6, (5,), 3)
+        x = rng.normal(size=(32, 6)).astype(np.float32)
+        y = rng.integers(0, 3, size=32)
+        # float64 workspace over a float32 corpus: build declines, the
+        # cohort runs serially and reports every de-vectorized request.
+        problem = DLProblem(net, x, y, x[:8], y[:8], batch_size=4, dtype=np.float64)
+        configs = make_configs("LSH_ps1", 3, max_updates=10)
+        results = run_cohort(problem, COST, configs)
+        assert all(r.metrics["kernel_fallbacks"] > 0 for r in results)
+        # ... while the serial path never emits any.
+        serial = run_once(problem, COST, configs[0])
+        assert serial.metrics["kernel_fallbacks"] == 0
+        assert identity_of(serial) == identity_of(results[0])
+
+
+# ---------------------------------------------------------------------------
 class TestReplicaKernelBuild:
     def _task(self, problem):
         task = problem.make_grad_task(np.random.default_rng(0))
@@ -265,6 +410,12 @@ class TestReplicaKernelBuild:
         problem = DLProblem(net, x, y, x[:8], y[:8], batch_size=4, dtype=np.float64)
         task = self._task(problem)
         assert ReplicaKernel.build(task, 4) is None
+        assert ReplicaKernel.reject_reason(task) == "dtype"
+        assert task.kernel_fallback_kind() == "dtype"
+
+    def test_supported_networks_have_no_reject_reason(self):
+        for make_problem in (tiny_mlp_problem, tiny_cnn_problem):
+            assert ReplicaKernel.reject_reason(self._task(make_problem())) is None
 
     def test_singleton_group_falls_back_serially(self):
         problem = tiny_mlp_problem()

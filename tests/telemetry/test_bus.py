@@ -100,8 +100,10 @@ class TestEventVocabulary:
             assert callable(getattr(bus, event))
 
     def test_vocabulary_is_closed(self):
-        # The bus only accepts the documented protocol events.
+        # The bus only accepts the documented events: the protocol
+        # vocabulary plus the host-side kernel_fallback execution event.
         assert set(EVENTS) == {
             "read_pinned", "grad_done", "lau_enter", "cas_attempt",
             "publish", "drop", "lock_wait", "reclaim", "view_divergence",
+            "kernel_fallback",
         }

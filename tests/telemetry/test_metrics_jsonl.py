@@ -35,6 +35,9 @@ SCHEMA_V1_KEYS = {
 #: self-profiler summary, provenance manifest).
 SCHEMA_V2_KEYS = SCHEMA_V1_KEYS | {"wall_phases", "profile", "provenance"}
 
+#: Schema v3 = v2 plus the replica-kernel de-vectorization tally.
+SCHEMA_V3_KEYS = SCHEMA_V2_KEYS | {"kernel_fallbacks"}
+
 
 @pytest.fixture(scope="module")
 def result(quadratic, cost_model):
@@ -61,12 +64,16 @@ def cost_model():
 
 class TestRunMetrics:
     def test_schema_keys_complete(self, result):
-        assert set(result.metrics) == SCHEMA_V2_KEYS
+        assert set(result.metrics) == SCHEMA_V3_KEYS
         assert result.metrics.schema_version == SCHEMA_VERSION
+
+    def test_serial_run_reports_zero_fallbacks(self, result):
+        # The serial path never de-vectorizes anything.
+        assert result.metrics["kernel_fallbacks"] == 0
 
     def test_mapping_interface(self, result):
         metrics = result.metrics
-        assert len(metrics) == len(SCHEMA_V2_KEYS)
+        assert len(metrics) == len(SCHEMA_V3_KEYS)
         assert metrics["n_updates"] == result.n_updates
         assert dict(metrics)["virtual_time"] == result.virtual_time
         with pytest.raises(KeyError):
@@ -110,7 +117,7 @@ class TestFlatPayload:
         nested 'metrics' object."""
         payload = result_to_dict(result)
         assert "metrics" not in payload
-        assert SCHEMA_V2_KEYS <= set(payload)
+        assert SCHEMA_V3_KEYS <= set(payload)
         assert payload["schema_version"] == SCHEMA_VERSION
         assert payload["status"] == result.status.value
         assert payload["config"]["algorithm"] == result.config.algorithm
@@ -185,8 +192,14 @@ class TestSchemaMigration:
     def _v1_row(self, result) -> dict:
         row = json.loads(result_to_line(result))
         row["schema_version"] = 1
-        for key in ("wall_phases", "profile", "provenance"):
+        for key in ("wall_phases", "profile", "provenance", "kernel_fallbacks"):
             row.pop(key, None)
+        return row
+
+    def _v2_row(self, result) -> dict:
+        row = json.loads(result_to_line(result))
+        row["schema_version"] = 2
+        row.pop("kernel_fallbacks", None)
         return row
 
     def test_v1_rows_migrate_on_read(self, result, tmp_path):
@@ -198,7 +211,18 @@ class TestSchemaMigration:
         assert row["provenance"] == {}
         assert set(row["wall_phases"]) == {"setup", "simulate", "teardown"}
         assert all(np.isnan(v) for v in row["wall_phases"].values())
+        assert row["kernel_fallbacks"] == 0
         # The v1 payload itself is untouched by the migration.
+        assert row["n_updates"] == result.n_updates
+
+    def test_v2_rows_migrate_on_read(self, result, tmp_path):
+        path = tmp_path / "v2.jsonl"
+        path.write_text(json.dumps(self._v2_row(result)) + "\n")
+        (row,) = read_jsonl(path)
+        assert row["schema_version"] == SCHEMA_VERSION
+        assert row["kernel_fallbacks"] == 0
+        # The v2 observability keys are preserved, not re-defaulted.
+        assert set(row["wall_phases"]) == {"setup", "simulate", "teardown"}
         assert row["n_updates"] == result.n_updates
 
     def test_migrate_row_is_noop_on_current(self, result):
