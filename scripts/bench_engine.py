@@ -187,6 +187,9 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default="BENCH_engine.json", metavar="PATH")
     args = parser.parse_args(argv)
 
+    from repro.observe.provenance import warn_single_core
+
+    warn_single_core()
     if args.mode == "smoke":
         threads, steps, reps = 4, 500, 2
         bench_repeats, bench_updates = 2, 300

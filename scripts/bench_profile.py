@@ -131,6 +131,10 @@ def main() -> int:
                         help="runs per measurement (best-of)")
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args()
+
+    from repro.observe.provenance import warn_single_core
+
+    warn_single_core()
     mode = "smoke" if args.smoke else args.mode
 
     payload = {

@@ -237,6 +237,9 @@ def main() -> int:
     parser.add_argument("--out", default=None, help="JSON output path")
     args = parser.parse_args()
 
+    from repro.observe.provenance import warn_single_core
+
+    warn_single_core()
     if args.grid_smoke:
         return grid_smoke()
 

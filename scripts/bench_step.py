@@ -209,6 +209,10 @@ def main() -> int:
     parser.add_argument("--child", nargs=5, metavar=("ARCH", "BATCH", "M", "UPD", "REPS"),
                         help=argparse.SUPPRESS)
     args = parser.parse_args()
+    if not args.child:
+        from repro.observe.provenance import warn_single_core
+
+        warn_single_core()
     if args.child:
         run_child(args)
         return 0

@@ -84,6 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="lockstep replica cohort size: batch each cell's "
                             "repeat seeds into stacked kernels (default: "
                             "REPRO_REPLICAS or 1)")
+    exp_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="content-addressed run cache: serve already-"
+                            "computed (config, problem) cells from DIR and "
+                            "store new ones (default: REPRO_CACHE_DIR or "
+                            "no caching)")
+    exp_p.add_argument("--no-cache", action="store_true",
+                       help="disable the run cache even when --cache-dir or "
+                            "REPRO_CACHE_DIR is set")
     exp_p.add_argument("--no-progress", action="store_true",
                        help="suppress the live progress heartbeat on stderr")
 
@@ -176,6 +184,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "is within --tolerance of n*_gamma (Cor. 3.2)")
     ana_p.add_argument("--tolerance", type=float, default=0.5, metavar="FRAC",
                        help="allowed relative deviation for --smoke (default 0.5)")
+    ana_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="serve/store this run via the content-addressed "
+                            "run cache (default: REPRO_CACHE_DIR or no "
+                            "caching)")
+    ana_p.add_argument("--no-cache", action="store_true",
+                       help="disable the run cache even when --cache-dir or "
+                            "REPRO_CACHE_DIR is set")
 
     report_p = sub.add_parser(
         "report", help="build the paper-vs-measured markdown from benchmarks/rendered/"
@@ -266,6 +281,9 @@ def _cmd_run(args) -> int:
 
 def _cmd_experiment(args) -> int:
     from repro.harness import experiments as exp
+    from repro.harness.cache import RunCache, resolve_cache_dir
+    from repro.harness.parallel import resolve_replicas, resolve_workers
+    from repro.harness.pool import WorkerPool
     from repro.harness.progress import ProgressReporter
 
     workloads = Workloads(get_profile(args.profile))
@@ -277,15 +295,32 @@ def _cmd_experiment(args) -> int:
         "s4": exp.s4_high_parallelism,
         "s5": exp.s5_memory,
     }[args.step]
-    if args.no_progress:
-        result = fn(workloads, workers=args.workers, replicas=args.replicas)
-    else:
-        with ProgressReporter() as heartbeat:
+    cache_dir = resolve_cache_dir(args.cache_dir, no_cache=args.no_cache)
+    cache = RunCache(cache_dir) if cache_dir is not None else None
+    # One persistent pool (one spawn, one problem broadcast) shared by
+    # every sweep of the step; serial hosts skip pool creation entirely.
+    n_workers = resolve_workers(
+        args.workers, cohort_replicas=resolve_replicas(args.replicas)
+    )
+    pool = WorkerPool(n_workers) if n_workers > 1 else None
+    try:
+        if args.no_progress:
             result = fn(
                 workloads, workers=args.workers, replicas=args.replicas,
-                progress=heartbeat,
+                pool=pool, cache=cache,
             )
+        else:
+            with ProgressReporter() as heartbeat:
+                result = fn(
+                    workloads, workers=args.workers, replicas=args.replicas,
+                    progress=heartbeat, pool=pool, cache=cache,
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     print(result)
+    if cache is not None:
+        print(f"cache: {cache.stats} ({cache_dir})")
     return 0
 
 
@@ -571,7 +606,19 @@ def _cmd_analyze(args) -> int:
             max_wall_seconds=profile.max_wall_seconds,
             probes=probes,
         )
-        result = run_once(problem, cost, config)
+        from repro.harness.cache import RunCache, resolve_cache_dir
+
+        cache_dir = resolve_cache_dir(args.cache_dir, no_cache=args.no_cache)
+        cache = RunCache(cache_dir) if cache_dir is not None else None
+        result = None
+        if cache is not None and cache.eligible(config):
+            result = cache.get(problem, cost, config)
+        if result is None:
+            result = run_once(problem, cost, config)
+            if cache is not None and cache.eligible(config):
+                cache.put(problem, cost, config, result)
+        if cache is not None:
+            print(f"cache: {cache.stats} ({cache_dir})")
         if args.jsonl:
             path = write_jsonl([result], args.jsonl, append=True)
             print(f"appended run to {path}")

@@ -115,6 +115,12 @@ def _generate_split(
     if noise_std > 0:
         images += rng.normal(0.0, noise_std, size=images.shape).astype(np.float32)
     np.clip(images, 0.0, 1.0, out=images)
+    # The corpus is immutable from here on: consumers only ever sample
+    # from it, and a read-only buffer is safe to alias into a zero-copy
+    # shared-memory broadcast (repro.harness.pool) without a defensive
+    # copy.
+    images.flags.writeable = False
+    labels.flags.writeable = False
     return Dataset(images=images, labels=labels)
 
 

@@ -12,6 +12,8 @@ from repro.harness.config import (
 )
 from repro.harness.runner import RunResult, repeated_configs, run_once, run_repeated
 from repro.harness.parallel import ParallelRunner, map_runs, resolve_workers
+from repro.harness.pool import WorkerPool
+from repro.harness.cache import RunCache, resolve_cache_dir
 from repro.harness.grid import SweepGrid, summarize, archive
 from repro.harness.results import (
     group_by,
@@ -45,6 +47,9 @@ __all__ = [
     "ParallelRunner",
     "map_runs",
     "resolve_workers",
+    "WorkerPool",
+    "RunCache",
+    "resolve_cache_dir",
     "SweepGrid",
     "summarize",
     "archive",

@@ -84,6 +84,8 @@ def _sweep(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> list[RunResult]:
     """Run every (algorithm, m) cell ``repeats`` times.
 
@@ -91,7 +93,12 @@ def _sweep(
     ``workers`` (or ``REPRO_WORKERS``) asks for parallelism, and each
     cell's repeat seeds are batched into lockstep replica cohorts when
     ``replicas`` (or ``REPRO_REPLICAS``) asks for vectorization; the
-    result list is identical to the serial one either way."""
+    result list is identical to the serial one either way. ``pool``
+    reuses one persistent :class:`~repro.harness.pool.WorkerPool`
+    across the whole experiment suite (one spawn, one problem
+    broadcast per workload), ``cache`` serves already-computed cells
+    from a :class:`~repro.harness.cache.RunCache` — neither changes a
+    single result bit."""
     problem = workloads.problem(kind)
     cost = workloads.cost(kind)
     repeats = repeats or workloads.profile.repeats
@@ -107,7 +114,8 @@ def _sweep(
                 cfg = replace(cfg, max_updates=max_updates)
             configs.extend(repeated_configs(cfg, repeats=repeats))
     return map_runs(
-        problem, cost, configs, workers=workers, replicas=replicas, progress=progress
+        problem, cost, configs, workers=workers, replicas=replicas, progress=progress,
+        pool=pool, cache=cache,
     )
 
 
@@ -125,6 +133,8 @@ def s1_scalability(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     """Fig. 3: MLP 50%-convergence wall-clock time (left) and time per
     SGD iteration (right), under varying parallelism."""
@@ -142,6 +152,8 @@ def s1_scalability(
         workers=workers,
         replicas=replicas,
         progress=progress,
+        pool=pool,
+        cache=cache,
     )
     key = lambda r: f"{r.config.algorithm}/m={r.config.m}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -175,6 +187,8 @@ def s1_stepsize(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     """Fig. 8: 50%-convergence time vs step size (left) and statistical
     efficiency — iterations to 50% (right), MLP at m=16."""
@@ -193,7 +207,8 @@ def s1_stepsize(
             )
             configs.extend(repeated_configs(cfg, repeats=repeats))
     runs = map_runs(
-        problem, cost, configs, workers=workers, replicas=replicas, progress=progress
+        problem, cost, configs, workers=workers, replicas=replicas, progress=progress,
+        pool=pool, cache=cache,
     )
     key = lambda r: f"{r.config.algorithm}/eta={r.config.eta:g}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -230,12 +245,15 @@ def _precision_staleness_progress(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     profile = workloads.profile
     epsilons = profile.mlp_epsilons if kind != "cnn" else profile.cnn_epsilons
     runs = _sweep(
         workloads, kind, algorithms, (m,), eta=eta, seed=seed, repeats=repeats,
         epsilons=epsilons, workers=workers, replicas=replicas, progress=progress,
+        pool=pool, cache=cache,
     )
     sections = []
     per_eps = {}
@@ -304,6 +322,8 @@ def s2_high_precision(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     """S2 — Figs 4 (left), 5 (left), 6 (left): MLP high-precision
     convergence at m=16."""
@@ -311,7 +331,7 @@ def s2_high_precision(
     return _precision_staleness_progress(
         workloads, "mlp", m=m, eta=eta, algorithms=algorithms, seed=seed,
         repeats=repeats, fig_prefix="S2/Fig4-6", workers=workers, replicas=replicas,
-        progress=progress,
+        progress=progress, pool=pool, cache=cache,
     )
 
 
@@ -326,13 +346,15 @@ def s3_cnn(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     """S3 — Fig 7: CNN convergence rate / progress / staleness at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "cnn", m=m, eta=eta, algorithms=algorithms, seed=seed,
         repeats=repeats, fig_prefix="S3/Fig7", workers=workers, replicas=replicas,
-        progress=progress,
+        progress=progress, pool=pool, cache=cache,
     )
 
 
@@ -347,6 +369,8 @@ def s4_high_parallelism(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     """S4 — Figs 4-6 (middle/right): MLP stress test at m in {24,34,68}."""
     thread_counts = tuple(thread_counts or workloads.profile.high_parallelism)
@@ -356,6 +380,7 @@ def s4_high_parallelism(
             workloads, "mlp", m=m, eta=eta, algorithms=algorithms,
             seed=seed + 10 * m, repeats=repeats, fig_prefix=f"S4/m={m}",
             workers=workers, replicas=replicas, progress=progress,
+            pool=pool, cache=cache,
         )
         for m in thread_counts
     ]
@@ -384,6 +409,8 @@ def s5_memory(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool=None,
+    cache=None,
 ) -> ExperimentResult:
     """S5 — Fig 10: continuous memory measurement; Leashed-SGD's dynamic
     allocation vs the baselines' constant 2m+1 instances."""
@@ -396,7 +423,7 @@ def s5_memory(
             runs = _sweep(
                 workloads, kind, algorithms, (m,), eta=eta, seed=seed,
                 repeats=repeats, max_updates=max_updates, workers=workers,
-                replicas=replicas, progress=progress,
+                replicas=replicas, progress=progress, pool=pool, cache=cache,
             )
             runs_all.extend(runs)
             base_mean = np.mean(

@@ -113,6 +113,8 @@ class SweepGrid:
         progress: Callable[[str], None] | None = None,
         workers: int | None = None,
         replicas: int | None = None,
+        pool=None,
+        cache=None,
     ) -> list[RunResult]:
         """Execute the grid; returns all runs (repeats included).
 
@@ -122,17 +124,29 @@ class SweepGrid:
         into lockstep cohorts (default: 1, or ``REPRO_REPLICAS``) —
         same-shape cells (the η column at fixed algorithm/m) merge into
         one super-cohort when ``replicas`` allows, so a grid column
-        runs as a single stacked kernel stream.
+        runs as a single stacked kernel stream. ``pool`` reuses a
+        persistent :class:`~repro.harness.pool.WorkerPool` (and its
+        shared-memory problem broadcast) across grids; ``cache`` serves
+        already-computed cells from a
+        :class:`~repro.harness.cache.RunCache`.
         Result order and contents are identical to the serial sweep.
         """
         from repro.harness.parallel import map_runs, resolve_replicas, resolve_workers
 
         n_replicas = resolve_replicas(replicas)
-        if resolve_workers(workers, cohort_replicas=n_replicas) > 1 or n_replicas > 1:
+        if (
+            pool is not None
+            or cache is not None
+            or n_replicas > 1
+            or resolve_workers(workers, cohort_replicas=n_replicas) > 1
+        ):
             if progress is not None:
                 for algorithm, m, eta in self.cells():
                     progress(f"{algorithm} m={m} eta={eta:g}")
-            return map_runs(problem, cost, self.configs(), workers=workers, replicas=n_replicas)
+            return map_runs(
+                problem, cost, self.configs(),
+                workers=workers, replicas=n_replicas, pool=pool, cache=cache,
+            )
         results: list[RunResult] = []
         for algorithm, m, eta in self.cells():
             if progress is not None:

@@ -4,11 +4,11 @@ The paper's protocol multiplies every configuration by 11 seeds and
 whole algorithm × thread-count grids; each of those runs is an
 independent simulation, deterministic given its :class:`RunConfig`
 seed. That makes the harness embarrassingly parallel: this module fans
-a list of configs out over a ``ProcessPoolExecutor`` and collects the
-results **in submission order**, so a parallel sweep returns exactly
-the list a serial loop would have produced (bitwise-identical results,
-since each ``run_once`` derives every RNG stream from its config's seed
-via :class:`repro.utils.rng.RngFactory`).
+a list of configs out over a process pool and collects the results
+**in submission order**, so a parallel sweep returns exactly the list a
+serial loop would have produced (bitwise-identical results, since each
+``run_once`` derives every RNG stream from its config's seed via
+:class:`repro.utils.rng.RngFactory`).
 
 Orthogonally to processes, **replica batching** groups same-shape
 configs (identical except for their seed and step size η — η never
@@ -18,6 +18,19 @@ one super-cohort of K×|η| stacked replicas) into lockstep cohorts of
 up to ``replicas`` runs that execute inside *one* process with stacked
 gradient kernels (:func:`repro.harness.runner.run_cohort`). The two
 compose: cohorts batch within a worker, chunks spread across workers.
+
+The data plane under a fan-out (see :mod:`repro.harness.pool` and
+:mod:`repro.harness.cache`):
+
+* ``pool`` — a persistent :class:`~repro.harness.pool.WorkerPool`
+  reused across ``map_runs`` calls (one executor spawn, one
+  shared-memory problem broadcast per workload). Without one, an
+  ephemeral pool is created and torn down per call — the historical
+  behaviour.
+* ``cache`` — a content-addressed
+  :class:`~repro.harness.cache.RunCache`; configs whose key is present
+  skip execution entirely and scatter their archived result (bitwise-
+  identical to recomputation by construction *and* by test).
 
 Worker-count resolution (:func:`resolve_workers`):
 
@@ -39,7 +52,9 @@ mean "no batching".
 ``0``/``1`` workers mean serial. The pool is also skipped, with a
 serial fallback, when there is only one task, when the task payload
 cannot be pickled (e.g. a user-defined problem holding a lambda), or
-when the host cannot spawn processes at all.
+when the host cannot spawn processes at all. A worker crash mid-sweep
+(``BrokenProcessPool``) respawns the pool and resubmits only the
+unfinished chunks; chunks that already completed keep their results.
 
 Telemetry crosses the process boundary intact: ``RunConfig.probes``
 carries probe *names* (resolved inside each worker's ``run_once``), and
@@ -51,15 +66,16 @@ the serial one's.
 from __future__ import annotations
 
 import os
-import pickle
 import warnings
 from dataclasses import replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
+from repro.harness.pool import WorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.core.problem import Problem
+    from repro.harness.cache import RunCache
     from repro.harness.config import RunConfig
     from repro.harness.runner import RunResult
     from repro.sim.cost import CostModel
@@ -68,30 +84,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
 WORKERS_ENV = "REPRO_WORKERS"
 #: Environment variable consulted when no explicit replica count is given.
 REPLICAS_ENV = "REPRO_REPLICAS"
-
-# Per-process state for pool workers: the (problem, cost) pair is
-# shipped once per worker via the pool initializer instead of once per
-# task — the problem carries the training corpus (tens of MB for the
-# paper profile), the configs are a few hundred bytes each.
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(payload: bytes) -> None:  # pragma: no cover - runs in subprocess
-    problem, cost = pickle.loads(payload)
-    _WORKER_STATE["problem"] = problem
-    _WORKER_STATE["cost"] = cost
-
-
-def _run_config(config):  # pragma: no cover - runs in subprocess
-    from repro.harness.runner import run_once
-
-    return run_once(_WORKER_STATE["problem"], _WORKER_STATE["cost"], config)
-
-
-def _run_cohort_chunk(configs):  # pragma: no cover - runs in subprocess
-    from repro.harness.runner import run_cohort
-
-    return run_cohort(_WORKER_STATE["problem"], _WORKER_STATE["cost"], configs)
 
 
 def resolve_workers(workers: int | None = None, *, cohort_replicas: int = 1) -> int:
@@ -203,6 +195,7 @@ def _label(config) -> str:
 
 
 def _run_serial(problem, cost, configs, progress=None) -> list:
+    """Plain in-process loop (no pool, no cohorts, no cache)."""
     from repro.harness.runner import run_once
 
     results = []
@@ -213,25 +206,6 @@ def _run_serial(problem, cost, configs, progress=None) -> list:
     return results
 
 
-def _pickle_payload(problem, cost) -> bytes | None:
-    """The worker-initializer payload, or None (with a warning) when it
-    cannot cross a process boundary. The pickled bytes are shipped to
-    every worker as-is — the (possibly tens-of-MB) problem graph is
-    traversed once here instead of once per worker."""
-    try:
-        # Pre-flight doubling as the shipment: a problem holding
-        # closures / generators (perfectly fine serially) cannot cross
-        # a process boundary.
-        return pickle.dumps((problem, cost))
-    except Exception as exc:
-        warnings.warn(
-            f"parallel run falling back to serial: payload not picklable ({exc})",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return None
-
-
 def map_runs(
     problem: "Problem",
     cost: "CostModel",
@@ -240,17 +214,27 @@ def map_runs(
     workers: int | None = None,
     replicas: int | None = None,
     progress=None,
+    pool: "WorkerPool | None" = None,
+    cache: "RunCache | None" = None,
 ) -> list["RunResult"]:
     """Execute every config, fanning out over processes and batching
     same-shape configs into lockstep replica cohorts.
 
     Results come back in the order of ``configs`` and are identical to
-    a serial loop's, whatever the worker count or replica grouping
-    (``wall_seconds`` excepted — wall time measures the execution
-    strategy, not the simulation). Falls back to serial execution (with
-    a warning) when the payload cannot be pickled or the pool cannot be
-    brought up; exceptions raised *inside* a simulation propagate
-    unchanged either way.
+    a serial loop's, whatever the worker count, replica grouping, pool
+    reuse, or cache state (``wall_seconds`` and the other host-side
+    fields excepted — they measure the execution strategy, not the
+    simulation). Falls back to serial execution (with a warning) when
+    the payload cannot be pickled or the pool cannot be brought up;
+    exceptions raised *inside* a simulation propagate unchanged either
+    way.
+
+    ``pool`` reuses a persistent :class:`~repro.harness.pool.WorkerPool`
+    (its width wins over ``workers``); without one an ephemeral pool is
+    created for this call when parallelism is requested. ``cache``
+    consults a :class:`~repro.harness.cache.RunCache` before executing
+    anything: hits scatter their archived result immediately (progress
+    labels them ``[cache]``), misses execute normally and are stored.
 
     ``progress`` is an optional heartbeat callback invoked as
     ``progress(done, total, label)`` in the parent process after every
@@ -259,110 +243,98 @@ def map_runs(
     sweep without participating in it: results are identical with or
     without the callback.
     """
+    from repro.harness.runner import run_cohort, run_once
+
     configs = list(configs)
+    if not configs:
+        return []
     n_replicas = resolve_replicas(replicas)
-    if n_replicas > 1 and len(configs) > 1:
-        return _map_runs_cohorts(
-            problem, cost, configs, workers=workers, replicas=n_replicas, progress=progress
+    cohort = n_replicas > 1 and len(configs) > 1
+    if pool is not None:
+        n_workers = pool.workers
+    else:
+        n_workers = resolve_workers(
+            workers, cohort_replicas=n_replicas if cohort else 1
         )
-    n_workers = resolve_workers(workers)
-    if n_workers <= 1 or len(configs) <= 1:
-        return _run_serial(problem, cost, configs, progress)
-    payload = _pickle_payload(problem, cost)
-    if payload is None:
-        return _run_serial(problem, cost, configs, progress)
-    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-    from concurrent.futures.process import BrokenProcessPool
 
-    results: list = [None] * len(configs)
-    try:
-        with ProcessPoolExecutor(
-            max_workers=min(n_workers, len(configs)),
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            # submit + wait (not pool.map) so heartbeats fire as runs
-            # *complete*; results still scatter back in config order.
-            pending = {pool.submit(_run_config, cfg): i for i, cfg in enumerate(configs)}
-            done_count = 0
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    index = pending.pop(future)
-                    results[index] = future.result()
-                    done_count += 1
-                    if progress is not None:
-                        progress(done_count, len(configs), _label(configs[index]))
-        return results
-    except (BrokenProcessPool, OSError) as exc:
-        warnings.warn(
-            f"parallel run falling back to serial: process pool failed ({exc})",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return _run_serial(problem, cost, configs, progress)
-
-
-def _map_runs_cohorts(
-    problem, cost, configs: list, *, workers: int | None, replicas: int, progress=None
-) -> list:
-    """Cohort-batched :func:`map_runs`: chunks of same-shape configs run
-    in lockstep within a process, chunks fan out across processes.
-    Heartbeats fire once per completed *chunk*, counting its runs."""
-    from repro.harness.runner import run_cohort
-
-    chunks = plan_cohorts(configs, replicas)
-    results: list = [None] * len(configs)
+    total = len(configs)
+    results: list = [None] * total
     done_runs = 0
 
-    def _scatter(chunk: list[int], chunk_results: list) -> None:
+    def _scatter(indices: list[int], chunk_results: list, note: str = "") -> None:
         nonlocal done_runs
-        for index, result in zip(chunk, chunk_results):
+        for index, result in zip(indices, chunk_results):
             results[index] = result
-        done_runs += len(chunk)
+        done_runs += len(indices)
         if progress is not None:
-            progress(done_runs, len(configs), _label(configs[chunk[-1]]))
+            progress(done_runs, total, _label(configs[indices[-1]]) + note)
 
-    def _serial_chunks() -> list:
-        for chunk in chunks:
-            _scatter(chunk, run_cohort(problem, cost, [configs[i] for i in chunk]))
+    # -- cache partition: hits scatter now, misses execute below -------
+    pending = list(range(total))
+    if cache is not None:
+        missing = []
+        for index in pending:
+            config = configs[index]
+            if not cache.eligible(config):
+                cache.note_bypass("self_profile")
+                missing.append(index)
+                continue
+            hit = cache.get(problem, cost, config)
+            if hit is not None:
+                _scatter([index], [hit], note=" [cache]")
+            else:
+                missing.append(index)
+        pending = missing
+    if not pending:
         return results
 
-    n_workers = resolve_workers(workers, cohort_replicas=replicas)
-    if n_workers <= 1 or len(chunks) <= 1:
-        return _serial_chunks()
-    payload = _pickle_payload(problem, cost)
-    if payload is None:
-        return _serial_chunks()
-    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-    from concurrent.futures.process import BrokenProcessPool
+    # -- chunk plan: cohorts of same-shape configs, else singletons ----
+    if cohort:
+        chunks = [
+            [pending[j] for j in chunk]
+            for chunk in plan_cohorts([configs[i] for i in pending], n_replicas)
+        ]
+    else:
+        chunks = [[index] for index in pending]
 
+    def _finish(indices: list[int], chunk_results: list) -> None:
+        if cache is not None:
+            for index, result in zip(indices, chunk_results):
+                if cache.eligible(configs[index]):
+                    cache.put(problem, cost, configs[index], result)
+        _scatter(indices, chunk_results)
+
+    def _run_chunk_inline(indices: list[int]) -> list:
+        chunk_configs = [configs[i] for i in indices]
+        if len(chunk_configs) > 1:
+            return run_cohort(problem, cost, chunk_configs)
+        return [run_once(problem, cost, chunk_configs[0])]
+
+    # -- execution: pool for what it can take, serial for the rest -----
+    use_pool = len(chunks) > 1 and n_workers > 1
+    owned = None
+    if use_pool and pool is None:
+        owned = pool = WorkerPool(min(n_workers, len(chunks)))
     try:
-        with ProcessPoolExecutor(
-            max_workers=min(n_workers, len(chunks)),
-            initializer=_init_worker,
-            initargs=(payload,),
-        ) as pool:
-            pending = {
-                pool.submit(_run_cohort_chunk, [configs[i] for i in chunk]): chunk
-                for chunk in chunks
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    _scatter(pending.pop(future), future.result())
-        return results
-    except (BrokenProcessPool, OSError) as exc:
-        warnings.warn(
-            f"parallel run falling back to serial: process pool failed ({exc})",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        # Chunks that already scattered keep their results; redo the rest.
-        for chunk in chunks:
-            if results[chunk[0]] is None:
-                _scatter(chunk, run_cohort(problem, cost, [configs[i] for i in chunk]))
-        return results
+        if use_pool:
+            pool.run_chunks(
+                problem, cost,
+                [[configs[i] for i in chunk] for chunk in chunks],
+                cohort=cohort,
+                on_done=lambda chunk_index, chunk_results: _finish(
+                    chunks[chunk_index], chunk_results
+                ),
+            )
+        # Serial pass covers everything the pool did not deliver: the
+        # whole plan when serial, the unfinished chunks after a pool
+        # failure mid-sweep, nothing on a clean parallel run.
+        for indices in chunks:
+            if results[indices[0]] is None:
+                _finish(indices, _run_chunk_inline(indices))
+    finally:
+        if owned is not None:
+            owned.close()
+    return results
 
 
 class ParallelRunner:
@@ -370,10 +342,18 @@ class ParallelRunner:
     fan-outs.
 
     Thin convenience over :func:`map_runs` for callers that sweep many
-    config batches against one workload::
+    config batches against one workload — and the natural owner of a
+    persistent :class:`~repro.harness.pool.WorkerPool`: the first
+    parallel ``map`` spawns it, every later call reuses it (one problem
+    broadcast, one executor), and :meth:`close` (or the context manager)
+    releases it::
 
-        runner = ParallelRunner(problem, cost, workers=8, replicas=11)
-        results = runner.map(configs)
+        with ParallelRunner(problem, cost, workers=8, replicas=11) as runner:
+            for batch in batches:
+                results = runner.map(batch)
+
+    ``cache`` (optional) is consulted on every ``map`` — see
+    :class:`~repro.harness.cache.RunCache`.
     """
 
     def __init__(
@@ -383,17 +363,41 @@ class ParallelRunner:
         *,
         workers: int | None = None,
         replicas: int | None = None,
+        cache: "RunCache | None" = None,
     ) -> None:
         self.problem = problem
         self.cost = cost
         self.replicas = resolve_replicas(replicas)
         self.workers = resolve_workers(workers, cohort_replicas=self.replicas)
+        self.cache = cache
+        self._pool: WorkerPool | None = None
+
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The persistent worker pool (spawned lazily; None when
+        serial)."""
+        if self._pool is None and self.workers > 1:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the pool's workers and shared-memory segments."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def map(self, configs: Sequence["RunConfig"], *, progress=None) -> list["RunResult"]:
         """Run every config; ordered, deterministic results."""
         return map_runs(
             self.problem, self.cost, configs,
             workers=self.workers, replicas=self.replicas, progress=progress,
+            pool=self.pool, cache=self.cache,
         )
 
     def run_repeated(

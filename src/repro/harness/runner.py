@@ -439,6 +439,8 @@ def run_repeated(
     seed_stride: int = 1_000,
     workers: int | None = None,
     replicas: int | None = None,
+    pool=None,
+    cache=None,
 ) -> list[RunResult]:
     """Run ``repeats`` independent executions (seeds
     ``seed + i * seed_stride``), as the paper does 11 times per box.
@@ -449,10 +451,16 @@ def run_repeated(
     with stacked gradient kernels (default: 1, or ``REPRO_REPLICAS``;
     see :mod:`repro.harness.parallel`). The two compose — cohorts batch
     *within* a worker process while configs spread *across* workers.
-    Results are returned in seed order and are identical whatever the
-    worker count or replica grouping.
+    ``pool`` reuses a persistent :class:`~repro.harness.pool.WorkerPool`
+    across calls; ``cache`` serves already-computed seeds from a
+    :class:`~repro.harness.cache.RunCache`. Results are returned in
+    seed order and are identical whatever the worker count, replica
+    grouping, pool reuse, or cache state.
     """
     from repro.harness.parallel import map_runs
 
     configs = repeated_configs(config, repeats=repeats, seed_stride=seed_stride)
-    return map_runs(problem, cost, configs, workers=workers, replicas=replicas)
+    return map_runs(
+        problem, cost, configs, workers=workers, replicas=replicas,
+        pool=pool, cache=cache,
+    )

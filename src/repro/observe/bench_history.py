@@ -130,6 +130,21 @@ def _extract_profile(payload: dict) -> dict[str, float]:
     return out
 
 
+def _extract_sweep(payload: dict) -> dict[str, float]:
+    out = {}
+    sweep = payload.get("sweep") or {}
+    value = _finite(sweep.get("cache_speedup"))
+    if value is not None:
+        out["sweep.cache_speedup"] = value
+    value = _finite(sweep.get("warm_pool_speedup"))
+    if value is not None:
+        out["sweep.warm_pool_speedup"] = value
+    value = _finite(sweep.get("warm_runs_per_sec"))
+    if value is not None:
+        out["sweep.runs_per_sec"] = value
+    return out
+
+
 #: ``BENCH_<name>.json`` -> extractor. Unknown BENCH files are ignored
 #: (reported by the CLI so new files get wired in deliberately).
 EXTRACTORS = {
@@ -137,6 +152,7 @@ EXTRACTORS = {
     "BENCH_step.json": _extract_step,
     "BENCH_replica.json": _extract_replica,
     "BENCH_profile.json": _extract_profile,
+    "BENCH_sweep.json": _extract_sweep,
 }
 
 

@@ -37,7 +37,14 @@ import time
 from functools import lru_cache
 from pathlib import Path
 
-__all__ = ["collect_provenance", "bench_manifest", "git_state", "config_hash"]
+__all__ = [
+    "collect_provenance",
+    "bench_manifest",
+    "git_state",
+    "config_hash",
+    "pool_mode",
+    "warn_single_core",
+]
 
 #: How RngFactory derives per-stream seeds from ``RunConfig.seed`` —
 #: recorded so an archived row documents its own reproduction recipe.
@@ -98,12 +105,44 @@ def collect_provenance(config=None) -> dict:
     return manifest
 
 
+def pool_mode() -> str:
+    """How the sweep data plane executes on this host.
+
+    ``"process-pool"`` when multiple cores are available to the worker
+    pool, ``"serial-fallback"`` when :func:`os.cpu_count` reports a
+    single core (``repro.harness.parallel.resolve_workers`` then caps
+    every request at one worker and all parallel speedup numbers
+    degenerate to ~1x).
+    """
+    return "process-pool" if (os.cpu_count() or 1) > 1 else "serial-fallback"
+
+
+def warn_single_core(stream=None) -> bool:
+    """Print a visible warning when benchmarks run on a 1-core host.
+
+    Returns True when the warning fired. Benchmark scripts call this up
+    front so a reader of the console output (or of a committed
+    ``BENCH_*.json``, via the manifest's ``pool_mode``) knows that
+    pool-parallel speedups measured here are meaningless.
+    """
+    if (os.cpu_count() or 1) > 1:
+        return False
+    print(
+        "WARNING: single-core host — worker pool capped at 1 process "
+        "(pool_mode=serial-fallback); parallel speedups are not "
+        "measurable here.",
+        file=stream if stream is not None else sys.stderr,
+    )
+    return True
+
+
 def bench_manifest() -> dict:
     """Provenance for a benchmark output file: the run manifest plus a
     wall-clock timestamp (benchmarks are point-in-time measurements,
-    unlike deterministic run records)."""
+    unlike deterministic run records) and the host's ``pool_mode``."""
     manifest = collect_provenance()
     manifest["timestamp"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+    manifest["pool_mode"] = pool_mode()
     return manifest
 
 

@@ -61,6 +61,13 @@ emitting worker's tid):
     event: it carries no virtual time and never fires on the serial
     path, so its count (``metrics["kernel_fallbacks"]``) is — like
     ``wall_seconds`` — outside the serial/cohort identity contract.
+``cache_hit(key)`` / ``cache_miss(key)`` / ``cache_bypass(reason)``
+    Run-cache traffic (see :mod:`repro.harness.cache`). Host-side
+    sweep-level events like ``kernel_fallback``: they fire once per
+    *run lookup* on the driving process, never from inside a
+    simulation, and carry no virtual time. ``key`` is the
+    content-addressed cache key (hex digest); ``reason`` explains why
+    a run skipped the cache (e.g. ``"self_profile"``).
 """
 
 from __future__ import annotations
@@ -70,7 +77,8 @@ from typing import Callable
 from repro.errors import ConfigurationError
 
 #: The closed event vocabulary, in emission order within one SGD step
-#: (``kernel_fallback`` is out-of-band: a host-side execution event).
+#: (``kernel_fallback`` and the ``cache_*`` trio are out-of-band:
+#: host-side execution events).
 EVENTS = (
     "read_pinned",
     "grad_done",
@@ -82,6 +90,9 @@ EVENTS = (
     "reclaim",
     "view_divergence",
     "kernel_fallback",
+    "cache_hit",
+    "cache_miss",
+    "cache_bypass",
 )
 
 

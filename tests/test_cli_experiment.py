@@ -49,6 +49,22 @@ class TestExperimentCommand:
         with pytest.raises(SystemExit):
             main(["experiment", "s9"])
 
+    def test_cache_dir_serves_second_run(self, micro_quick, capsys, tmp_path):
+        cache_dir = str(tmp_path / "runs")
+        assert main(["experiment", "s5", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "cache:" in cold and " 0 hits" in cold
+        assert main(["experiment", "s5", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        assert "cache:" in warm and " 0 hits" not in warm
+        assert " 0 misse" in warm  # fully served from cache
+
+    def test_no_cache_disables_env_dir(self, micro_quick, capsys, monkeypatch,
+                                       tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert main(["experiment", "s5", "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().out
+
 
 class TestRunCommandDLWorkload:
     def test_mlp_run(self, micro_quick, capsys):
