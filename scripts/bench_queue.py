@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Benchmark for the experiment service's queue/dispatcher overhead.
+
+The service refactor routes every sweep through a durable task queue
+(scheduler -> lease -> dispatch -> measurer). That control plane must
+cost a negligible fraction of the work it dispatches. This benchmark
+times one small sweep three ways and records into ``BENCH_queue.json``:
+
+1. **plain** — :func:`repro.harness.parallel.map_runs` straight onto
+   the data plane (the pre-service path, still the floor);
+2. **service (volatile)** — the same sweep through an in-memory
+   :class:`repro.service.experiment.ExperimentService`.
+   ``dispatch_overhead_frac`` = (service - plain) / plain, i.e. what
+   the queue machinery adds on top of simulating;
+3. **service (durable)** — the same sweep journalling every transition
+   and result row to disk (fsync included), then a **resume** of the
+   completed run directory: ``resume_latency_s`` is the wall time to
+   replay the journals and serve every box without simulating
+   (``resume_tasks_per_sec`` normalises it per box).
+
+**Identity gate** (always on): the service's results must be bitwise
+identical — host timing fields excepted, via
+:func:`repro.harness.cache.simulation_fingerprint` — to the plain
+``map_runs`` sweep, in submission order.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_queue.py
+    PYTHONPATH=src python scripts/bench_queue.py --smoke
+
+Smoke mode shrinks the sweep and gates identity (mandatory) plus
+``dispatch_overhead_frac < 0.05`` — the acceptance bound: per-task
+dispatch overhead below 5% of box wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.problem import QuadraticProblem
+from repro.harness.cache import simulation_fingerprint
+from repro.harness.config import RunConfig
+from repro.harness.parallel import map_runs
+from repro.service import ExperimentService
+from repro.sim.cost import CostModel
+
+ALGORITHMS = ("SEQ", "ASYNC", "HOG", "LSH_psinf")
+
+FULL = {"seeds": 6, "max_updates": 20_000, "reps": 3, "replicas": 3}
+SMOKE = {"seeds": 4, "max_updates": 2_000, "reps": 1, "replicas": 2}
+
+#: The smoke gate on the control plane's cost (the acceptance bound).
+MAX_OVERHEAD_FRAC = 0.05
+
+
+def build_workload():
+    return (
+        QuadraticProblem(64, h=1.0, b=1.0, noise_sigma=0.1),
+        CostModel(tc=2e-3, tu=1e-3, t_copy=5e-4),
+    )
+
+
+def build_configs(seeds: int, max_updates: int):
+    configs = []
+    for algorithm in ALGORITHMS:
+        m = 1 if algorithm == "SEQ" else 4
+        configs.extend(
+            RunConfig(
+                algorithm=algorithm, m=m, eta=0.05, seed=seed,
+                epsilons=(1e-6,),
+                max_updates=max_updates, max_virtual_time=1e18,
+            )
+            for seed in range(seeds)
+        )
+    return configs
+
+
+def time_plain(problem, cost, configs, replicas) -> tuple[float, list]:
+    t0 = time.perf_counter()
+    results = map_runs(problem, cost, configs, workers=1, replicas=replicas)
+    return time.perf_counter() - t0, results
+
+
+def time_service(problem, cost, configs, replicas, run_dir=None):
+    t0 = time.perf_counter()
+    with ExperimentService(run_dir, workers=1, replicas=replicas) as service:
+        results = service.map(problem, cost, configs)
+        stats = service.stats.as_dict()
+        n_tasks = len(service.queue)
+        if run_dir is not None:
+            service.finalize()
+    return time.perf_counter() - t0, results, stats, n_tasks
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny gated run: bitwise identity and "
+                             f"dispatch_overhead_frac < {MAX_OVERHEAD_FRAC}, "
+                             "exit nonzero on violation")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timed passes per strategy (best is kept; "
+                             "default 3, smoke 1)")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+
+    from repro.observe.provenance import bench_manifest, warn_single_core
+
+    warn_single_core()
+    spec = dict(SMOKE if args.smoke else FULL)
+    if args.reps is not None:
+        spec["reps"] = max(args.reps, 1)
+
+    problem, cost = build_workload()
+    configs = build_configs(spec["seeds"], spec["max_updates"])
+    print(f"== queue/dispatch overhead: {len(configs)} runs, "
+          f"replicas={spec['replicas']}, serial data plane ==")
+
+    # -- plain map_runs: the floor the service must stay near ----------
+    plain_best, reference = min(
+        (time_plain(problem, cost, configs, spec["replicas"])
+         for _ in range(spec["reps"])),
+        key=lambda pair: pair[0],
+    )
+    print(f"  plain map_runs:        {plain_best:.2f}s")
+
+    # -- volatile service: queue machinery, no disk --------------------
+    volatile = [
+        time_service(problem, cost, configs, spec["replicas"])
+        for _ in range(spec["reps"])
+    ]
+    volatile_best, results, _, n_tasks = min(volatile, key=lambda t: t[0])
+    print(f"  service (volatile):    {volatile_best:.2f}s "
+          f"({n_tasks} tasks)")
+
+    identical = all(
+        simulation_fingerprint(got) == simulation_fingerprint(want)
+        for got, want in zip(results, reference)
+    )
+
+    # -- durable service + resume --------------------------------------
+    durable_best = resume_best = None
+    resume_stats = None
+    for _ in range(spec["reps"]):
+        with tempfile.TemporaryDirectory(prefix="repro-queue-") as tmp:
+            run_dir = os.path.join(tmp, "run")
+            elapsed, _, _, _ = time_service(
+                problem, cost, configs, spec["replicas"], run_dir
+            )
+            durable_best = elapsed if durable_best is None \
+                else min(durable_best, elapsed)
+            elapsed, resumed, resume_stats, _ = time_service(
+                problem, cost, configs, spec["replicas"], run_dir
+            )
+            resume_best = elapsed if resume_best is None \
+                else min(resume_best, elapsed)
+            identical &= all(
+                simulation_fingerprint(got) == simulation_fingerprint(want)
+                for got, want in zip(resumed, reference)
+            )
+    print(f"  service (durable):     {durable_best:.2f}s")
+    print(f"  resume, fully served:  {resume_best:.3f}s")
+
+    overhead_frac = (volatile_best - plain_best) / plain_best
+    durable_frac = (durable_best - plain_best) / plain_best
+    queue = {
+        "n_runs": len(configs),
+        "n_tasks": n_tasks,
+        "replicas": spec["replicas"],
+        "plain_seconds": round(plain_best, 3),
+        "service_seconds": round(volatile_best, 3),
+        "durable_seconds": round(durable_best, 3),
+        "dispatch_overhead_frac": round(overhead_frac, 4),
+        "durable_overhead_frac": round(durable_frac, 4),
+        "dispatch_overhead_per_task_ms": round(
+            1e3 * (volatile_best - plain_best) / n_tasks, 3
+        ),
+        "resume_latency_s": round(resume_best, 4),
+        "resume_tasks_per_sec": round(n_tasks / resume_best, 1),
+        "resume_runs_from_journal": resume_stats["runs_from_journal"],
+        "bitwise_identical": identical,
+    }
+    print(f"  dispatch_overhead_frac: {queue['dispatch_overhead_frac']:+.2%}"
+          f" (durable {queue['durable_overhead_frac']:+.2%})")
+    print(f"  identity: {'ok' if identical else 'DIVERGED'}")
+
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "provenance": bench_manifest(),
+        "queue": queue,
+    }
+    out_path = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_queue.json"
+    )
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+
+    if not identical:
+        print("FAILED: service results diverged from plain map_runs")
+        return 1
+    if args.smoke:
+        if queue["resume_runs_from_journal"] != len(configs):
+            print("FAILED: resume simulated runs it should have replayed")
+            return 1
+        if overhead_frac >= MAX_OVERHEAD_FRAC:
+            print(f"FAILED: dispatch overhead {overhead_frac:.2%} >= "
+                  f"{MAX_OVERHEAD_FRAC:.0%} of sweep wall-clock")
+            return 1
+        print("smoke gates: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""CI gate for the experiment service's crash/resume contract.
+
+Orchestrates a real crash: a child process runs a small durable sweep
+with ``REPRO_SERVICE_KILL_AFTER=N`` so the dispatcher hard-exits
+(``os._exit(17)``) right after journalling its N-th cohort box — the
+worst survivable instant (results + ``task_done`` are on disk, nothing
+else is). A second child then resumes the same run directory and must
+
+1. exit cleanly, re-executing **only** the unfinished boxes;
+2. produce a ``merged_fingerprint`` identical to an uninterrupted
+   reference run (host timing fields excepted, by construction of
+   :func:`repro.harness.cache.simulation_fingerprint`);
+3. preserve mixed run outcomes bitwise (the sweep includes a diverging
+   replica next to healthy ones in one cohort box).
+
+Usage::
+
+    PYTHONPATH=src python scripts/resume_smoke.py
+    PYTHONPATH=src python scripts/resume_smoke.py --kill-after 2
+
+Exits nonzero on any violation. The sweep is a quadratic workload, so
+the whole gate runs in seconds on a CI runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.service.dispatcher import KILL_AFTER_ENV, KILL_EXIT_CODE
+
+#: Three cohort boxes at replicas=2; box 2 mixes a healthy replica with
+#: a diverging one (eta far beyond stability), so resume must carry
+#: mixed statuses through the journal bitwise.
+N_BOXES = 3
+
+
+def _child(run_dir: str) -> int:
+    from repro.core.problem import QuadraticProblem
+    from repro.harness.config import RunConfig
+    from repro.service import ExperimentService
+    from repro.sim.cost import CostModel
+
+    problem = QuadraticProblem(32, h=1.0, b=1.0, noise_sigma=0.1)
+    cost = CostModel(tc=2e-3, tu=1e-3, t_copy=5e-4)
+
+    def config(seed, eta=0.05, m=2):
+        return RunConfig(
+            algorithm="ASYNC", m=m, eta=eta, seed=seed,
+            epsilons=(0.5, 0.1), target_epsilon=0.1,
+            max_updates=400, max_virtual_time=10.0,
+        )
+
+    configs = [
+        config(0), config(1),            # box 1: healthy
+        config(2), config(2, eta=50.0),  # box 2: healthy + diverging
+        config(0, m=4), config(1, m=4),  # box 3: healthy
+    ]
+    with ExperimentService(
+        run_dir, workers=1, replicas=2,
+        manifest={"step": "resume-smoke", "profile": "quick"},
+    ) as service:
+        results = service.map(problem, cost, configs)
+        summary = service.finalize()
+    statuses = sorted({r.status.value for r in results})
+    print(json.dumps({"fingerprint": summary["merged_fingerprint"],
+                      "stats": summary["service"],
+                      "statuses": statuses}))
+    return 0
+
+
+def _spawn(run_dir: str, *, kill_after: int | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env.pop(KILL_AFTER_ENV, None)
+    env["PYTHONPATH"] = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "src"
+    )
+    if kill_after is not None:
+        env[KILL_AFTER_ENV] = str(kill_after)
+    return subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child", run_dir],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+def _payload(proc: subprocess.CompletedProcess) -> dict:
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def gate(ok: bool, label: str) -> bool:
+    print(f"  {label}: {'ok' if ok else 'FAILED'}")
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--child", metavar="RUN_DIR", default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--kill-after", type=int, default=1,
+                        help="boxes the first session completes before "
+                             "the injected crash (default 1)")
+    args = parser.parse_args()
+    if args.child is not None:
+        return _child(args.child)
+
+    kill_after = args.kill_after
+    if not 1 <= kill_after < N_BOXES:
+        print(f"--kill-after must be in [1, {N_BOXES - 1}] so the crash "
+              "leaves unfinished work")
+        return 2
+
+    ok = True
+    with tempfile.TemporaryDirectory(prefix="repro-resume-") as tmp:
+        reference_dir = os.path.join(tmp, "reference")
+        crashed_dir = os.path.join(tmp, "crashed")
+
+        print(f"== resume smoke: {N_BOXES} boxes, crash after {kill_after} ==")
+        reference = _spawn(reference_dir, kill_after=None)
+        if reference.returncode != 0:
+            print(reference.stderr)
+            print("  reference run: FAILED")
+            return 1
+        ref = _payload(reference)
+        ok &= gate(ref["stats"]["tasks_executed"] == N_BOXES,
+                   "reference executed every box")
+        ok &= gate(ref["statuses"] != ["converged"],
+                   "sweep mixes run outcomes")
+
+        crashed = _spawn(crashed_dir, kill_after=kill_after)
+        ok &= gate(crashed.returncode == KILL_EXIT_CODE,
+                   f"injected crash exits {KILL_EXIT_CODE} "
+                   f"(got {crashed.returncode})")
+        ok &= gate(not os.path.exists(os.path.join(crashed_dir, "merged.jsonl")),
+                   "crashed session left no merged.jsonl")
+
+        resumed = _spawn(crashed_dir, kill_after=None)
+        if resumed.returncode != 0:
+            print(resumed.stderr)
+            print("  resume run: FAILED")
+            return 1
+        res = _payload(resumed)
+        ok &= gate(res["stats"]["tasks_executed"] == N_BOXES - kill_after,
+                   f"resume re-executed only {N_BOXES - kill_after} boxes "
+                   f"(got {res['stats']['tasks_executed']})")
+        ok &= gate(res["stats"]["tasks_from_journal"] == kill_after,
+                   f"resume served {kill_after} boxes from the journal")
+        ok &= gate(res["fingerprint"] == ref["fingerprint"],
+                   "merged fingerprint identical to uninterrupted run")
+        ok &= gate(res["statuses"] == ref["statuses"],
+                   "mixed outcomes preserved through crash/resume")
+
+    print("resume smoke:", "ok" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -75,8 +75,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "kernels, arena) and print the span profile")
 
     exp_p = sub.add_parser("experiment", help="run a paper experiment step")
-    exp_p.add_argument("step", choices=("s1", "s1-eta", "s2", "s3", "s4", "s5"))
+    exp_p.add_argument("step", nargs="?", default=None,
+                       choices=("s1", "s1-eta", "s2", "s3", "s4", "s5"),
+                       help="required unless --resume supplies a run directory")
     exp_p.add_argument("--profile", default=None, choices=(None, "quick", "paper"))
+    exp_p.add_argument("--run-dir", default=None, metavar="DIR",
+                       help="durable service run directory: journal every "
+                            "task and completed run so a killed sweep can be "
+                            "restarted with --resume (default: in-memory)")
+    exp_p.add_argument("--resume", default=None, metavar="DIR",
+                       help="resume a killed/interrupted sweep from its run "
+                            "directory (step and profile come from its "
+                            "manifest); only unfinished boxes re-execute")
     exp_p.add_argument("--workers", type=int, default=None, metavar="N",
                        help="process-parallel runs (-1: all cores; default: "
                             "REPRO_WORKERS or serial)")
@@ -114,6 +124,10 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="chrome-trace JSON output path")
     trace_p.add_argument("--svg", default=None, metavar="PATH",
                          help="also render the no-browser SVG swimlane chart")
+    trace_p.add_argument("--service", default=None, metavar="RUN_DIR",
+                         help="instead of simulating, export the queue-"
+                              "lifecycle timeline of an experiment-service "
+                              "run directory (written by finalize)")
 
     hist_p = sub.add_parser(
         "bench-history",
@@ -282,11 +296,25 @@ def _cmd_run(args) -> int:
 def _cmd_experiment(args) -> int:
     from repro.harness import experiments as exp
     from repro.harness.cache import RunCache, resolve_cache_dir
-    from repro.harness.parallel import resolve_replicas, resolve_workers
-    from repro.harness.pool import WorkerPool
     from repro.harness.progress import ProgressReporter
+    from repro.service import ExperimentService, load_manifest
 
-    workloads = Workloads(get_profile(args.profile))
+    step, run_dir = args.step, args.run_dir
+    profile_name = args.profile
+    if args.resume:
+        if run_dir is not None and run_dir != args.resume:
+            print("experiment: --resume already names the run directory; "
+                  "drop --run-dir", file=sys.stderr)
+            return 2
+        run_dir = args.resume
+        manifest = load_manifest(run_dir)
+        step = step or manifest.get("step")
+        profile_name = profile_name or manifest.get("profile")
+    if step is None:
+        print("experiment: a step (s1..s5) is required unless --resume "
+              "names a run directory", file=sys.stderr)
+        return 2
+    workloads = Workloads(get_profile(profile_name))
     fn = {
         "s1": exp.s1_scalability,
         "s1-eta": exp.s1_stepsize,
@@ -294,38 +322,60 @@ def _cmd_experiment(args) -> int:
         "s3": exp.s3_cnn,
         "s4": exp.s4_high_parallelism,
         "s5": exp.s5_memory,
-    }[args.step]
+    }[step]
     cache_dir = resolve_cache_dir(args.cache_dir, no_cache=args.no_cache)
     cache = RunCache(cache_dir) if cache_dir is not None else None
-    # One persistent pool (one spawn, one problem broadcast) shared by
-    # every sweep of the step; serial hosts skip pool creation entirely.
-    n_workers = resolve_workers(
-        args.workers, cohort_replicas=resolve_replicas(args.replicas)
-    )
-    pool = WorkerPool(n_workers) if n_workers > 1 else None
-    try:
+    # Every step flows through the experiment service: a durable queue
+    # when --run-dir/--resume name a directory, the same machinery
+    # in-memory otherwise. The service owns the persistent pool.
+    with ExperimentService(
+        run_dir, workers=args.workers, replicas=args.replicas, cache=cache,
+        manifest={"step": step, "profile": workloads.profile.name},
+    ) as service:
         if args.no_progress:
-            result = fn(
-                workloads, workers=args.workers, replicas=args.replicas,
-                pool=pool, cache=cache,
-            )
+            result = fn(workloads, service=service)
         else:
             with ProgressReporter() as heartbeat:
-                result = fn(
-                    workloads, workers=args.workers, replicas=args.replicas,
-                    progress=heartbeat, pool=pool, cache=cache,
-                )
-    finally:
-        if pool is not None:
-            pool.close()
+                result = fn(workloads, progress=heartbeat, service=service)
+        summary = service.finalize()
     print(result)
+    stats = summary["service"]
+    print(f"service: {summary['n_tasks']} tasks / {summary['n_runs']} runs — "
+          f"{stats['tasks_executed']} executed / "
+          f"{stats['tasks_from_cache']} from cache / "
+          f"{stats['tasks_from_journal']} resumed / "
+          f"{stats['tasks_requeued']} requeued")
     if cache is not None:
         print(f"cache: {cache.stats} ({cache_dir})")
+    if run_dir is not None:
+        print(f"run dir: {run_dir} — merged.jsonl + summary.json "
+              f"(fingerprint {summary['merged_fingerprint'][:16]})")
     return 0
 
 
 def _cmd_trace(args) -> int:
     from repro.observe.timeline import export_chrome_trace, validate_chrome_trace
+
+    if args.service:
+        import json
+        from pathlib import Path
+
+        src = Path(args.service) / "service_timeline.json"
+        if not src.exists():
+            print(f"trace: {src} not found — finalize the service run first "
+                  "(`repro experiment ... --run-dir` writes it on exit)",
+                  file=sys.stderr)
+            return 2
+        timeline = json.loads(src.read_text())
+        path = export_chrome_trace(timeline, args.out)
+        summary = validate_chrome_trace(timeline)
+        print(f"wrote {path} — {summary['n_events']} events on "
+              f"{summary['n_tracks']} tracks ({summary['n_spans']} spans, "
+              f"{summary['n_instants']} instants); service run {args.service}")
+        if args.svg:
+            print("note: --svg applies to simulation traces; skipped for "
+                  "--service")
+        return 0
 
     workloads = Workloads(get_profile(args.profile))
     problem = workloads.problem(args.workload)
@@ -610,15 +660,16 @@ def _cmd_analyze(args) -> int:
 
         cache_dir = resolve_cache_dir(args.cache_dir, no_cache=args.no_cache)
         cache = RunCache(cache_dir) if cache_dir is not None else None
-        result = None
-        if cache is not None and cache.eligible(config):
-            result = cache.get(problem, cost, config)
-        if result is None:
-            result = run_once(problem, cost, config)
-            if cache is not None and cache.eligible(config):
-                cache.put(problem, cost, config, result)
         if cache is not None:
+            # Route through a volatile service so the queue/cache
+            # interaction (tasks served vs executed) shows up in stats.
+            from repro.service import ExperimentService
+
+            with ExperimentService(workers=1, replicas=1, cache=cache) as svc:
+                result = svc.map(problem, cost, [config])[0]
             print(f"cache: {cache.stats} ({cache_dir})")
+        else:
+            result = run_once(problem, cost, config)
         if args.jsonl:
             path = write_jsonl([result], args.jsonl, append=True)
             print(f"appended run to {path}")

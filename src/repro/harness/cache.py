@@ -271,12 +271,22 @@ def simulation_fingerprint(result) -> str:
 # ----------------------------------------------------------------------
 @dataclass
 class CacheStats:
-    """Tallies of one :class:`RunCache`."""
+    """Tallies of one :class:`RunCache`.
+
+    ``tasks_served`` / ``tasks_executed`` are queue-level counters the
+    experiment service mirrors in (see
+    :class:`repro.service.dispatcher.Dispatcher`): how many *tasks*
+    (seed-cohort boxes) were satisfied without simulating — from this
+    cache or a resume journal — versus dispatched onto workers. They
+    stay 0 outside the service path, and the ``__str__`` line only
+    mentions them when the service actually ran tasks."""
 
     hits: int = 0
     misses: int = 0
     bypasses: int = 0
     stores: int = 0
+    tasks_served: int = 0
+    tasks_executed: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -284,11 +294,17 @@ class CacheStats:
             "misses": self.misses,
             "bypasses": self.bypasses,
             "stores": self.stores,
+            "tasks_served": self.tasks_served,
+            "tasks_executed": self.tasks_executed,
         }
 
     def __str__(self) -> str:
-        return (f"{self.hits} hits / {self.misses} misses / "
+        line = (f"{self.hits} hits / {self.misses} misses / "
                 f"{self.bypasses} bypassed")
+        if self.tasks_served or self.tasks_executed:
+            line += (f"; tasks: {self.tasks_served} served / "
+                     f"{self.tasks_executed} executed")
+        return line
 
 
 class RunCache:

@@ -40,6 +40,26 @@ DEFAULT_ALGORITHMS = ("SEQ", "ASYNC", "HOG", "LSH_psinf", "LSH_ps1", "LSH_ps0")
 PARALLEL_ALGORITHMS = ("ASYNC", "HOG", "LSH_psinf", "LSH_ps1", "LSH_ps0")
 
 
+def _dispatch(
+    problem, cost, configs, *, workers=None, replicas=None, progress=None,
+    pool=None, cache=None, service=None,
+):
+    """Route one config batch to the execution plane.
+
+    With a :class:`~repro.service.experiment.ExperimentService` the
+    batch goes through the durable queue (the service owns workers /
+    replicas / pool / cache, so those arguments are ignored); without
+    one it is the classic direct :func:`map_runs` fan-out. Both return
+    the same results in the same order — the service is a routing
+    change, not a semantic one."""
+    if service is not None:
+        return service.map(problem, cost, configs, progress=progress)
+    return map_runs(
+        problem, cost, configs, workers=workers, replicas=replicas,
+        progress=progress, pool=pool, cache=cache,
+    )
+
+
 @dataclass
 class ExperimentResult:
     """One experiment's structured outcome + rendered report."""
@@ -86,6 +106,7 @@ def _sweep(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> list[RunResult]:
     """Run every (algorithm, m) cell ``repeats`` times.
 
@@ -98,7 +119,9 @@ def _sweep(
     across the whole experiment suite (one spawn, one problem
     broadcast per workload), ``cache`` serves already-computed cells
     from a :class:`~repro.harness.cache.RunCache` — neither changes a
-    single result bit."""
+    single result bit. ``service`` routes the batch through a durable
+    :class:`~repro.service.experiment.ExperimentService` queue instead
+    (crash/resume support; same results)."""
     problem = workloads.problem(kind)
     cost = workloads.cost(kind)
     repeats = repeats or workloads.profile.repeats
@@ -113,9 +136,9 @@ def _sweep(
             if max_updates is not None:
                 cfg = replace(cfg, max_updates=max_updates)
             configs.extend(repeated_configs(cfg, repeats=repeats))
-    return map_runs(
+    return _dispatch(
         problem, cost, configs, workers=workers, replicas=replicas, progress=progress,
-        pool=pool, cache=cache,
+        pool=pool, cache=cache, service=service,
     )
 
 
@@ -135,6 +158,7 @@ def s1_scalability(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     """Fig. 3: MLP 50%-convergence wall-clock time (left) and time per
     SGD iteration (right), under varying parallelism."""
@@ -154,6 +178,7 @@ def s1_scalability(
         progress=progress,
         pool=pool,
         cache=cache,
+        service=service,
     )
     key = lambda r: f"{r.config.algorithm}/m={r.config.m}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -189,6 +214,7 @@ def s1_stepsize(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     """Fig. 8: 50%-convergence time vs step size (left) and statistical
     efficiency — iterations to 50% (right), MLP at m=16."""
@@ -206,9 +232,9 @@ def s1_stepsize(
                 target_epsilon=0.5,
             )
             configs.extend(repeated_configs(cfg, repeats=repeats))
-    runs = map_runs(
+    runs = _dispatch(
         problem, cost, configs, workers=workers, replicas=replicas, progress=progress,
-        pool=pool, cache=cache,
+        pool=pool, cache=cache, service=service,
     )
     key = lambda r: f"{r.config.algorithm}/eta={r.config.eta:g}"  # noqa: E731
     boxes, failures = convergence_boxes(runs, 0.5, key=key)
@@ -247,13 +273,14 @@ def _precision_staleness_progress(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     profile = workloads.profile
     epsilons = profile.mlp_epsilons if kind != "cnn" else profile.cnn_epsilons
     runs = _sweep(
         workloads, kind, algorithms, (m,), eta=eta, seed=seed, repeats=repeats,
         epsilons=epsilons, workers=workers, replicas=replicas, progress=progress,
-        pool=pool, cache=cache,
+        pool=pool, cache=cache, service=service,
     )
     sections = []
     per_eps = {}
@@ -324,6 +351,7 @@ def s2_high_precision(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     """S2 — Figs 4 (left), 5 (left), 6 (left): MLP high-precision
     convergence at m=16."""
@@ -331,7 +359,7 @@ def s2_high_precision(
     return _precision_staleness_progress(
         workloads, "mlp", m=m, eta=eta, algorithms=algorithms, seed=seed,
         repeats=repeats, fig_prefix="S2/Fig4-6", workers=workers, replicas=replicas,
-        progress=progress, pool=pool, cache=cache,
+        progress=progress, pool=pool, cache=cache, service=service,
     )
 
 
@@ -348,13 +376,14 @@ def s3_cnn(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     """S3 — Fig 7: CNN convergence rate / progress / staleness at m=16."""
     eta = eta if eta is not None else workloads.profile.default_eta
     return _precision_staleness_progress(
         workloads, "cnn", m=m, eta=eta, algorithms=algorithms, seed=seed,
         repeats=repeats, fig_prefix="S3/Fig7", workers=workers, replicas=replicas,
-        progress=progress, pool=pool, cache=cache,
+        progress=progress, pool=pool, cache=cache, service=service,
     )
 
 
@@ -371,6 +400,7 @@ def s4_high_parallelism(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     """S4 — Figs 4-6 (middle/right): MLP stress test at m in {24,34,68}."""
     thread_counts = tuple(thread_counts or workloads.profile.high_parallelism)
@@ -380,7 +410,7 @@ def s4_high_parallelism(
             workloads, "mlp", m=m, eta=eta, algorithms=algorithms,
             seed=seed + 10 * m, repeats=repeats, fig_prefix=f"S4/m={m}",
             workers=workers, replicas=replicas, progress=progress,
-            pool=pool, cache=cache,
+            pool=pool, cache=cache, service=service,
         )
         for m in thread_counts
     ]
@@ -411,6 +441,7 @@ def s5_memory(
     progress=None,
     pool=None,
     cache=None,
+    service=None,
 ) -> ExperimentResult:
     """S5 — Fig 10: continuous memory measurement; Leashed-SGD's dynamic
     allocation vs the baselines' constant 2m+1 instances."""
@@ -424,6 +455,7 @@ def s5_memory(
                 workloads, kind, algorithms, (m,), eta=eta, seed=seed,
                 repeats=repeats, max_updates=max_updates, workers=workers,
                 replicas=replicas, progress=progress, pool=pool, cache=cache,
+                service=service,
             )
             runs_all.extend(runs)
             base_mean = np.mean(

@@ -115,6 +115,7 @@ class SweepGrid:
         replicas: int | None = None,
         pool=None,
         cache=None,
+        service=None,
     ) -> list[RunResult]:
         """Execute the grid; returns all runs (repeats included).
 
@@ -128,11 +129,19 @@ class SweepGrid:
         persistent :class:`~repro.harness.pool.WorkerPool` (and its
         shared-memory problem broadcast) across grids; ``cache`` serves
         already-computed cells from a
-        :class:`~repro.harness.cache.RunCache`.
+        :class:`~repro.harness.cache.RunCache`. ``service`` routes the
+        sweep through a durable
+        :class:`~repro.service.experiment.ExperimentService` queue
+        (crash/resume; the service's own pool/cache/replicas apply).
         Result order and contents are identical to the serial sweep.
         """
         from repro.harness.parallel import map_runs, resolve_replicas, resolve_workers
 
+        if service is not None:
+            if progress is not None:
+                for algorithm, m, eta in self.cells():
+                    progress(f"{algorithm} m={m} eta={eta:g}")
+            return service.map(problem, cost, self.configs())
         n_replicas = resolve_replicas(replicas)
         if (
             pool is not None

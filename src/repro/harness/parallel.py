@@ -390,6 +390,12 @@ class ParallelRunner:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Runs on KeyboardInterrupt/SIGINT unwinds too (the `with`
+        # statement guarantees it): closing the pool unlinks every
+        # broadcast shm segment, so an interrupted sweep leaves nothing
+        # behind in /dev/shm. Runners abandoned *without* the context
+        # manager are backstopped by WorkerPool's GC/exit finalizer —
+        # see :func:`repro.harness.pool._close_broadcasts`.
         self.close()
 
     def map(self, configs: Sequence["RunConfig"], *, progress=None) -> list["RunResult"]:

@@ -46,6 +46,7 @@ import itertools
 import os
 import pickle
 import warnings
+import weakref
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence
 
@@ -169,6 +170,19 @@ class _ShmUnpickler(pickle.Unpickler):
         return array
 
 
+def _release_segments(segments: list) -> None:
+    """Creator-side unlink of every segment, tolerating already-gone
+    ones. Mutates the list in place so the ``close()`` path and the
+    GC/exit finalizer (which share the list object) stay idempotent."""
+    while segments:
+        segment = segments.pop()
+        try:
+            segment.close()
+            segment.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+
 @dataclass
 class ProblemBroadcast:
     """One (problem, cost) pair staged for shipment to pool workers.
@@ -179,12 +193,23 @@ class ProblemBroadcast:
     is the full payload and ``segments`` is empty. ``key`` identifies
     the broadcast for worker-side memoization — one unpickle per worker
     per broadcast, however many tasks it executes.
+
+    Shm segments outlive the process unless unlinked, so reaching
+    ``close()`` is not optional — a ``KeyboardInterrupt`` that unwinds
+    past the owning ``finally`` would otherwise leak corpus-sized
+    segments in ``/dev/shm`` until reboot. A ``weakref.finalize``
+    (GC or interpreter exit, whichever first) backstops ``close()``;
+    both funnel through :func:`_release_segments` on the same list
+    object, so whichever runs second is a no-op.
     """
 
     key: str
     mode: str  # "shm" | "pickle"
     payload: bytes
     segments: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._finalizer = weakref.finalize(self, _release_segments, self.segments)
 
     @property
     def shm_bytes(self) -> int:
@@ -193,13 +218,8 @@ class ProblemBroadcast:
 
     def close(self) -> None:
         """Release the shared-memory segments (creator side)."""
-        for segment in self.segments:
-            try:
-                segment.close()
-                segment.unlink()
-            except OSError:  # pragma: no cover - already gone
-                pass
-        self.segments = []
+        self._finalizer.detach()
+        _release_segments(self.segments)
 
 
 def make_broadcast(problem: "Problem", cost: "CostModel") -> ProblemBroadcast | None:
@@ -300,6 +320,15 @@ def _pool_ping():  # pragma: no cover - subprocess
 # ----------------------------------------------------------------------
 # The pool
 # ----------------------------------------------------------------------
+def _close_broadcasts(broadcasts: dict) -> None:
+    """Close every staged broadcast; shared by :meth:`WorkerPool.close`
+    and the pool's GC/exit finalizer (both see the same dict object)."""
+    for _, _, broadcast in broadcasts.values():
+        if broadcast is not None:
+            broadcast.close()
+    broadcasts.clear()
+
+
 @dataclass
 class PoolStats:
     """Lifetime counters of one :class:`WorkerPool`."""
@@ -350,6 +379,13 @@ class WorkerPool:
         self._executor = None
         self._broadcasts: dict = {}  # (id(problem), id(cost)) -> (problem, cost, bcast)
         self._closed = False
+        # Backstop for pools abandoned without close() (e.g. SIGINT
+        # unwinding past the owner): releases every staged broadcast's
+        # shm segments at GC/interpreter exit. The per-broadcast
+        # finalizer covers broadcasts that escaped the pool.
+        self._finalizer = weakref.finalize(
+            self, _close_broadcasts, self._broadcasts
+        )
 
     # -- lifecycle -----------------------------------------------------
     def _ensure_executor(self):
@@ -379,11 +415,9 @@ class WorkerPool:
 
     def close(self) -> None:
         """Shut the executor down and release every shm segment."""
+        self._finalizer.detach()
         self._discard_executor()
-        for _, _, broadcast in self._broadcasts.values():
-            if broadcast is not None:
-                broadcast.close()
-        self._broadcasts.clear()
+        _close_broadcasts(self._broadcasts)
         self.stats.shm_bytes = 0
         self._closed = True
 

@@ -54,7 +54,7 @@ DEFAULT_HISTORY = "BENCH_history.jsonl"
 DEFAULT_MAX_DROP = 0.15
 
 #: Metric-name suffixes whose *increase* is the regression direction.
-LOWER_IS_BETTER = ("overhead_frac",)
+LOWER_IS_BETTER = ("overhead_frac", "latency_s")
 
 
 def _finite(value) -> float | None:
@@ -145,6 +145,21 @@ def _extract_sweep(payload: dict) -> dict[str, float]:
     return out
 
 
+def _extract_queue(payload: dict) -> dict[str, float]:
+    out = {}
+    queue = payload.get("queue") or {}
+    value = _finite(queue.get("dispatch_overhead_frac"))
+    if value is not None:
+        out["queue.dispatch_overhead_frac"] = value
+    value = _finite(queue.get("resume_latency_s"))
+    if value is not None:
+        out["queue.resume_latency_s"] = value
+    value = _finite(queue.get("resume_tasks_per_sec"))
+    if value is not None:
+        out["queue.resume_tasks_per_sec"] = value
+    return out
+
+
 #: ``BENCH_<name>.json`` -> extractor. Unknown BENCH files are ignored
 #: (reported by the CLI so new files get wired in deliberately).
 EXTRACTORS = {
@@ -153,6 +168,7 @@ EXTRACTORS = {
     "BENCH_replica.json": _extract_replica,
     "BENCH_profile.json": _extract_profile,
     "BENCH_sweep.json": _extract_sweep,
+    "BENCH_queue.json": _extract_queue,
 }
 
 

@@ -47,6 +47,7 @@ __all__ = [
     "export_chrome_trace",
     "validate_chrome_trace",
     "PHASE_NAMES",
+    "SERVICE_PID",
 ]
 
 _NAN = float("nan")
@@ -60,6 +61,10 @@ _VALID_PH = frozenset({"X", "B", "E", "i", "I", "M"})
 
 #: Microseconds per virtual second (the trace format's time unit).
 _US = 1e6
+
+#: Trace pid of the experiment-service track: queue lifecycle events run
+#: on host time, so they get a process of their own (simulation = pid 0).
+SERVICE_PID = 1
 
 
 class TimelineRecorder(Probe):
@@ -86,6 +91,8 @@ class TimelineRecorder(Probe):
         self._prev: dict[int, float] = {}
         self._in_lau: set[int] = set()
         self._tids: set[int] = set()
+        self._lease_start: dict[str, float] = {}
+        self._service_seen = False
 
     # -- event assembly -------------------------------------------------
     def _emit(self, event: dict) -> None:
@@ -94,31 +101,37 @@ class TimelineRecorder(Probe):
             self._events.append(event)
 
     def _span(
-        self, phase: str, thread: int, start: float, end: float, args: dict | None = None
+        self, phase: str, thread: int, start: float, end: float,
+        args: dict | None = None, *, pid: int = 0, cat: str = "phase",
     ) -> None:
-        self._tids.add(thread)
+        if pid == 0:
+            self._tids.add(thread)
         event = {
             "name": phase,
-            "cat": "phase",
+            "cat": cat,
             "ph": "X",
             "ts": start * _US,
             "dur": max(end - start, 0.0) * _US,
-            "pid": 0,
+            "pid": pid,
             "tid": thread,
         }
         if args:
             event["args"] = args
         self._emit(event)
 
-    def _instant(self, name: str, thread: int, time: float, args: dict | None = None) -> None:
-        self._tids.add(thread)
+    def _instant(
+        self, name: str, thread: int, time: float,
+        args: dict | None = None, *, pid: int = 0, cat: str = "protocol",
+    ) -> None:
+        if pid == 0:
+            self._tids.add(thread)
         event = {
             "name": name,
-            "cat": "protocol",
+            "cat": cat,
             "ph": "i",
             "s": "t",
             "ts": time * _US,
-            "pid": 0,
+            "pid": pid,
             "tid": thread,
         }
         if args:
@@ -174,6 +187,37 @@ class TimelineRecorder(Probe):
     def on_reclaim(self, time: float, thread: int, seq: int) -> None:
         self._instant("reclaim", thread, time, {"seq": int(seq)})
 
+    # -- service-plane handlers (experiment-queue lifecycle) ------------
+    # These ride a separate trace process (pid SERVICE_PID, one
+    # "dispatcher" track) because their clock is *host* seconds since
+    # service start, not virtual time — mixing the bases on one track
+    # would make span widths meaningless.
+    def on_task_enqueued(self, time: float, task_id: str, n_runs: int) -> None:
+        self._service_seen = True
+        self._instant("task_enqueued", 0, time,
+                      {"task_id": task_id, "n_runs": int(n_runs)},
+                      pid=SERVICE_PID, cat="service")
+
+    def on_task_leased(self, time: float, task_id: str, attempt: int) -> None:
+        self._service_seen = True
+        self._lease_start[task_id] = time
+
+    def on_task_done(self, time: float, task_id: str, n_runs: int,
+                     source: str) -> None:
+        self._service_seen = True
+        start = self._lease_start.pop(task_id, time)
+        self._span(f"task {task_id}", 0, start, time,
+                   {"task_id": task_id, "n_runs": int(n_runs),
+                    "source": source},
+                   pid=SERVICE_PID, cat="service")
+
+    def on_task_requeued(self, time: float, task_id: str, reason: str) -> None:
+        self._service_seen = True
+        self._lease_start.pop(task_id, None)
+        self._instant("task_requeued", 0, time,
+                      {"task_id": task_id, "reason": reason},
+                      pid=SERVICE_PID, cat="service")
+
     # -- result ---------------------------------------------------------
     def result(self) -> dict:
         """The Chrome-trace payload: ``traceEvents`` sorted per track by
@@ -190,6 +234,15 @@ class TimelineRecorder(Probe):
             meta.append({
                 "name": "thread_name", "ph": "M", "pid": 0, "tid": tid, "ts": 0,
                 "args": {"name": f"worker {tid}"},
+            })
+        if self._service_seen:
+            meta.append({
+                "name": "process_name", "ph": "M", "pid": SERVICE_PID,
+                "tid": 0, "ts": 0, "args": {"name": "repro service"},
+            })
+            meta.append({
+                "name": "thread_name", "ph": "M", "pid": SERVICE_PID,
+                "tid": 0, "ts": 0, "args": {"name": "dispatcher"},
             })
         events = sorted(self._events, key=lambda e: (e["pid"], e["tid"], e["ts"]))
         return {

@@ -1,0 +1,283 @@
+"""The dispatcher: leases queued tasks onto the execution data plane.
+
+One :meth:`Dispatcher.run` call drives one workload batch end to end:
+
+1. **Recover** — requeue every lease left behind by a dead dispatcher
+   (expired deadline or foreign owner; see
+   :meth:`~repro.service.queue.TaskQueue.recover`) and replay the
+   measurer's journal for this workload.
+2. **Triage** — for each planned task, in order: a DONE task whose rows
+   are all in the journal is *resumed* (nothing executes); a DONE task
+   with missing rows, or a FAILED one, is requeued. What remains is
+   leased, and each leased run is looked up first in the journal
+   (a resumed run under a different cohort grouping) then in the
+   content-addressed :class:`~repro.harness.cache.RunCache` — the
+   tentpole contract that resumption and dedup share one identity.
+   Tasks fully satisfied without simulating complete immediately.
+3. **Execute** — the rest go onto the persistent
+   :class:`~repro.harness.pool.WorkerPool` as super-cohort chunks
+   (exactly :func:`~repro.harness.parallel.map_runs`'s shape), with the
+   same serial covering pass when the pool declines or degrades.
+   Completion of each task is atomic in the durable order that makes
+   resume sound: cache-store, journal-append (fsync), *then*
+   ``task_done`` — a crash between any two steps leaves the task
+   re-runnable, never falsely complete.
+
+Fault injection: when ``REPRO_SERVICE_KILL_AFTER=N`` is set, the
+dispatcher hard-exits (``os._exit(17)``) immediately after the N-th
+task it completes *in this process* — after the journal fsync, before
+anything else. This is the crash/resume test hook (the resume-smoke CI
+job and ``scripts/resume_smoke.py``): a real SIGKILL at the worst
+survivable instant, deterministic on a serial host.
+
+A simulation exception on the serial path marks its task FAILED (the
+error is journalled) and propagates. On the pool path the failing chunk
+cannot be attributed, so affected tasks stay LEASED and the next
+dispatcher's recovery requeues them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.harness.parallel import _label
+from repro.service.queue import TaskQueue, TaskState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.problem import Problem
+    from repro.harness.cache import RunCache
+    from repro.harness.pool import WorkerPool
+    from repro.service.measurer import Measurer
+    from repro.service.scheduler import PlannedTask
+    from repro.sim.cost import CostModel
+
+__all__ = ["Dispatcher", "ServiceStats", "KILL_AFTER_ENV", "KILL_EXIT_CODE"]
+
+#: Fault-injection hook: complete N tasks this process, then os._exit.
+KILL_AFTER_ENV = "REPRO_SERVICE_KILL_AFTER"
+
+#: The injected crash's exit code (distinguishes it from real errors).
+KILL_EXIT_CODE = 17
+
+#: Leases outlive any sane cohort box; crashed dispatchers are detected
+#: by owner mismatch long before this expires (the timeout only matters
+#: for a dispatcher that hangs without dying).
+DEFAULT_LEASE_TIMEOUT = 15 * 60.0
+
+
+@dataclass
+class ServiceStats:
+    """Lifetime tallies of one dispatcher (task- and run-granular)."""
+
+    tasks_executed: int = 0  # boxes that simulated (fully or partly)
+    tasks_from_cache: int = 0  # boxes satisfied by the run cache alone
+    tasks_from_journal: int = 0  # boxes resumed from a previous session
+    tasks_requeued: int = 0  # stale leases / retries / missing rows
+    runs_executed: int = 0
+    runs_from_cache: int = 0
+    runs_from_journal: int = 0
+
+    @property
+    def tasks_served(self) -> int:
+        """Boxes satisfied without simulating anything."""
+        return self.tasks_from_cache + self.tasks_from_journal
+
+    @property
+    def tasks_done(self) -> int:
+        return self.tasks_executed + self.tasks_served
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks_executed": self.tasks_executed,
+            "tasks_from_cache": self.tasks_from_cache,
+            "tasks_from_journal": self.tasks_from_journal,
+            "tasks_requeued": self.tasks_requeued,
+            "runs_executed": self.runs_executed,
+            "runs_from_cache": self.runs_from_cache,
+            "runs_from_journal": self.runs_from_journal,
+        }
+
+
+class Dispatcher:
+    """Leases tasks from a queue and completes them on the data plane."""
+
+    def __init__(
+        self,
+        queue: TaskQueue,
+        measurer: "Measurer",
+        *,
+        owner: str,
+        pool: "WorkerPool | None" = None,
+        cache: "RunCache | None" = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        kill_after: int | None = None,
+    ) -> None:
+        self.queue = queue
+        self.measurer = measurer
+        self.owner = owner
+        self.pool = pool
+        self.cache = cache
+        self.lease_timeout = float(lease_timeout)
+        if kill_after is None:
+            env = os.environ.get(KILL_AFTER_ENV)
+            kill_after = int(env) if env else 0
+        self.kill_after = int(kill_after)
+        self.stats = ServiceStats()
+        self._session_completions = 0
+
+    # -- completion plumbing -------------------------------------------
+    def _progress(self, progress, done, total, task, note: str) -> None:
+        if progress is not None:
+            progress(done, total, _label(task.configs[-1]) + note)
+
+    def _maybe_die(self) -> None:
+        """The fault-injection crash point (see module docstring)."""
+        self._session_completions += 1
+        if self.kill_after and self._session_completions >= self.kill_after:
+            os._exit(KILL_EXIT_CODE)
+
+    def _mirror_cache_counters(self, *, served: bool) -> None:
+        if self.cache is not None:
+            if served:
+                self.cache.stats.tasks_served += 1
+            else:
+                self.cache.stats.tasks_executed += 1
+
+    def _complete(
+        self, problem, cost, wkey: str, task: "PlannedTask",
+        results: dict[int, object], executed: Sequence[int],
+        cached: Sequence[int],
+    ) -> str:
+        """Durably finish one task: cache-store, journal, mark DONE.
+        Returns the completion source for progress labelling."""
+        if self.cache is not None:
+            for i in executed:
+                if self.cache.eligible(task.configs[i]):
+                    self.cache.put(problem, cost, task.configs[i], results[i])
+        self.measurer.ingest(
+            wkey, [(task.run_keys[i], results[i]) for i in sorted(results)]
+        )
+        if executed:
+            source = "executed"
+            self.stats.tasks_executed += 1
+        elif cached:
+            source = "cache"
+            self.stats.tasks_from_cache += 1
+        else:
+            source = "journal"
+            self.stats.tasks_from_journal += 1
+        self._mirror_cache_counters(served=not executed)
+        self.queue.mark_done(task.task_id, source=source)
+        return source
+
+    # -- the loop ------------------------------------------------------
+    def run(
+        self,
+        problem: "Problem",
+        cost: "CostModel",
+        wkey: str,
+        planned: Sequence["PlannedTask"],
+        *,
+        progress: Callable[[int, int, str], None] | None = None,
+    ) -> None:
+        """Complete every planned task (results land in the measurer)."""
+        from repro.harness.runner import run_cohort, run_once
+
+        total = sum(len(task) for task in planned)
+        done_runs = 0
+        self.stats.tasks_requeued += len(self.queue.recover(self.owner))
+        self.measurer.load_workload(wkey)
+
+        # -- triage: resume DONE boxes, lease + look up the rest -------
+        exec_plan: list[tuple] = []  # (task, missing, served, cached)
+        for task in planned:
+            queued = self.queue.get(task.task_id)
+            if queued is None:  # pragma: no cover - scheduler enqueues first
+                raise RuntimeError(f"task {task.task_id} was never enqueued")
+            if queued.state is TaskState.DONE:
+                if all(self.measurer.has(key) for key in task.run_keys):
+                    self.stats.tasks_from_journal += 1
+                    self.stats.runs_from_journal += len(task)
+                    self._mirror_cache_counters(served=True)
+                    done_runs += len(task)
+                    self._progress(progress, done_runs, total, task, " [journal]")
+                    continue
+                # DONE in the queue but rows missing from the journal
+                # (e.g. a corrupt line was skipped): never trust it.
+                self.queue.requeue(task.task_id, reason="missing-results")
+                self.stats.tasks_requeued += 1
+            elif queued.state is TaskState.FAILED:
+                self.queue.requeue(task.task_id, reason="retry-failed")
+                self.stats.tasks_requeued += 1
+            self.queue.lease(
+                task.task_id, owner=self.owner, timeout=self.lease_timeout
+            )
+            served: dict[int, object] = {}
+            cached: list[int] = []
+            missing: list[int] = []
+            for i, (key, config) in enumerate(zip(task.run_keys, task.configs)):
+                if self.measurer.has(key):
+                    served[i] = self.measurer.get(key)
+                    self.stats.runs_from_journal += 1
+                    continue
+                if self.cache is not None:
+                    if not self.cache.eligible(config):
+                        self.cache.note_bypass("self_profile")
+                    else:
+                        hit = self.cache.get(problem, cost, config)
+                        if hit is not None:
+                            served[i] = hit
+                            cached.append(i)
+                            self.stats.runs_from_cache += 1
+                            continue
+                missing.append(i)
+            if not missing:
+                source = self._complete(
+                    problem, cost, wkey, task, served, (), cached
+                )
+                done_runs += len(task)
+                self._progress(progress, done_runs, total, task, f" [{source}]")
+                self._maybe_die()
+            else:
+                exec_plan.append((task, missing, served, cached))
+        if not exec_plan:
+            return
+
+        # -- execute: pool first, serial covering pass after -----------
+        chunks = [
+            [task.configs[i] for i in missing]
+            for task, missing, _, _ in exec_plan
+        ]
+        delivered = [False] * len(chunks)
+
+        def _finish(index: int, chunk_results: list) -> None:
+            nonlocal done_runs
+            task, missing, served, cached = exec_plan[index]
+            delivered[index] = True
+            results = dict(served)
+            results.update(zip(missing, chunk_results))
+            self.stats.runs_executed += len(missing)
+            self._complete(problem, cost, wkey, task, results, missing, cached)
+            done_runs += len(task)
+            self._progress(progress, done_runs, total, task, "")
+            self._maybe_die()
+
+        if self.pool is not None and len(chunks) > 1:
+            self.pool.run_chunks(
+                problem, cost, chunks, cohort=True, on_done=_finish
+            )
+        for index, (task, missing, _, _) in enumerate(exec_plan):
+            if delivered[index]:
+                continue
+            chunk_configs = [task.configs[i] for i in missing]
+            try:
+                if len(chunk_configs) > 1:
+                    chunk_results = run_cohort(problem, cost, chunk_configs)
+                else:
+                    chunk_results = [run_once(problem, cost, chunk_configs[0])]
+            except Exception as exc:
+                self.queue.mark_failed(task.task_id, error=repr(exc))
+                raise
+            _finish(index, chunk_results)

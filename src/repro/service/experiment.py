@@ -1,0 +1,304 @@
+"""The experiment service facade: scheduler + queue + dispatcher +
+measurer behind one ``map``-shaped call.
+
+:class:`ExperimentService` is what the CLI and the experiment helpers
+actually talk to. Its :meth:`~ExperimentService.map` has the exact
+contract of :func:`repro.harness.parallel.map_runs` — results in
+submission order, bitwise-identical to a serial loop modulo the host
+fields — but every batch flows through the durable queue, so the same
+code path serves three modes:
+
+* **volatile** (``run_dir=None``) — in-memory queue and measurer, no
+  files: the plain ``repro experiment s1`` behaviour;
+* **durable** (``run_dir=...``) — every task transition and completed
+  run is journalled; a killed sweep restarted on the same run directory
+  re-executes only unfinished boxes;
+* **resume** (durable + existing journals) — the same as durable: there
+  is no separate resume code path, because task identity is
+  content-addressed and enqueueing a known task is a no-op.
+
+The run directory (durable mode) holds::
+
+    LOCK                      single-dispatcher lock (pid + owner)
+    manifest.json             step/profile/shape + provenance
+    queue.jsonl               task-state journal (append-only)
+    results-<wkey>.jsonl      completed run rows, per workload
+    merged.jsonl              finalize(): all runs, submission order
+    summary.json              finalize(): counts + merged_fingerprint
+    service_timeline.json     finalize(): queue lifecycle Chrome trace
+
+Safety order per task: cache-store -> journal fsync -> ``task_done``
+fsync. A crash between any two steps leaves a task the next dispatcher
+will re-lease; the identity contract makes the re-execution bitwise
+equivalent, which is what the resume-smoke gate checks end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.harness.parallel import resolve_replicas, resolve_workers
+from repro.harness.pool import WorkerPool
+from repro.observe.timeline import TimelineRecorder, export_chrome_trace
+from repro.service.dispatcher import DEFAULT_LEASE_TIMEOUT, Dispatcher
+from repro.service.measurer import Measurer
+from repro.service.queue import TaskQueue, acquire_run_lock
+from repro.service.scheduler import SweepScheduler, run_key, workload_key
+from repro.telemetry.bus import ProbeBus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.problem import Problem
+    from repro.harness.cache import RunCache
+    from repro.harness.runner import RunResult
+    from repro.sim.cost import CostModel
+
+__all__ = ["ExperimentService", "load_manifest"]
+
+#: Manifest keys that must agree between the original invocation and a
+#: resume — resuming ``s1`` as ``s5`` or under another profile would
+#: enqueue a disjoint task set and merge unrelated science.
+_MANIFEST_GUARDED = ("step", "profile")
+
+
+def load_manifest(run_dir: str | Path) -> dict:
+    """Read a run directory's manifest (what ``--resume`` restarts)."""
+    path = Path(run_dir) / "manifest.json"
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ConfigurationError(
+            f"{run_dir} has no manifest.json — not a service run directory "
+            "(start one with `repro experiment <step> --run-dir ...`)"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"{path} is corrupt ({exc}); the run directory cannot be resumed"
+        ) from exc
+
+
+def _merge_timelines(old: dict, new: dict) -> dict:
+    """Fold a prior finalize's exported trace into a fresh recording.
+
+    Metadata events are deduplicated; everything else is concatenated
+    and re-sorted per track — the viewers (and ``validate_chrome_trace``)
+    require monotonic ``ts`` within a track, and the two recordings use
+    each process's own host-relative clock.
+    """
+    old_other = old.get("otherData", {})
+    meta: list[dict] = []
+    seen: set[str] = set()
+    rest: list[dict] = []
+    for event in [*old.get("traceEvents", ()), *new.get("traceEvents", ())]:
+        if event.get("ph") == "M":
+            key = json.dumps(event, sort_keys=True)
+            if key not in seen:
+                seen.add(key)
+                meta.append(event)
+        else:
+            rest.append(event)
+    rest.sort(key=lambda e: (e.get("pid", 0), e.get("tid", 0), e.get("ts", 0.0)))
+    return {
+        "traceEvents": meta + rest,
+        "displayTimeUnit": new.get("displayTimeUnit", "ms"),
+        "n_events": int(old_other.get("n_events", 0)) + int(new.get("n_events", 0)),
+        "truncated": bool(old_other.get("truncated", False))
+        or bool(new.get("truncated", False)),
+    }
+
+
+class ExperimentService:
+    """One experiment session over the queue/dispatcher/measurer split.
+
+    Parameters mirror the harness layer: ``workers`` / ``replicas``
+    resolve exactly as in :func:`~repro.harness.parallel.map_runs`
+    (env fallbacks included); ``pool`` / ``cache`` are shared data-plane
+    objects (the service creates its own pool when parallelism is
+    requested and none is given, and closes only what it created).
+    ``manifest`` (durable mode) records invocation facts; on an existing
+    run directory its guarded keys must match what is already there.
+    """
+
+    def __init__(
+        self,
+        run_dir: str | Path | None = None,
+        *,
+        workers: int | None = None,
+        replicas: int | None = None,
+        pool: "WorkerPool | None" = None,
+        cache: "RunCache | None" = None,
+        bus: ProbeBus | None = None,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
+        manifest: dict | None = None,
+    ) -> None:
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self.replicas = resolve_replicas(replicas)
+        self.workers = resolve_workers(
+            workers, cohort_replicas=self.replicas
+        )
+        self.owner = f"pid{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._lock = None
+        if self.run_dir is not None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            self._lock = acquire_run_lock(self.run_dir, self.owner)
+            try:
+                self._reconcile_manifest(manifest or {})
+            except BaseException:
+                # Never leave the lock behind on a failed construction —
+                # a live-pid lock is a hard error for the next attempt.
+                self._lock.unlink(missing_ok=True)
+                raise
+
+        self.bus = bus if bus is not None else ProbeBus()
+        self.timeline = TimelineRecorder()
+        self.bus.attach(self.timeline)
+        self._t0 = time.monotonic()
+        self.queue = TaskQueue(
+            self.run_dir / "queue.jsonl" if self.run_dir is not None else None,
+            bus=self.bus,
+            clock=lambda: time.monotonic() - self._t0,
+        )
+        self.measurer = Measurer(self.run_dir)
+        self.scheduler = SweepScheduler(self.replicas)
+        self.cache = cache
+        self._owned_pool = None
+        if pool is None and self.workers > 1:
+            pool = self._owned_pool = WorkerPool(self.workers)
+        self.pool = pool
+        self.dispatcher = Dispatcher(
+            self.queue, self.measurer, owner=self.owner,
+            pool=self.pool, cache=self.cache, lease_timeout=lease_timeout,
+        )
+        self._order: list[str] = []
+        self._seen: set[str] = set()
+        self._closed = False
+
+    # -- manifest ------------------------------------------------------
+    def _reconcile_manifest(self, manifest: dict) -> None:
+        from repro.observe.provenance import bench_manifest
+
+        path = self.run_dir / "manifest.json"
+        if path.exists():
+            existing = load_manifest(self.run_dir)
+            for key in _MANIFEST_GUARDED:
+                ours, theirs = manifest.get(key), existing.get(key)
+                if ours is not None and theirs is not None and ours != theirs:
+                    raise ConfigurationError(
+                        f"run directory {self.run_dir} was created for "
+                        f"{key}={theirs!r}; refusing to resume it as "
+                        f"{key}={ours!r}"
+                    )
+            self.manifest = existing
+            return
+        self.manifest = {
+            **manifest,
+            "replicas": self.replicas,
+            "workers": self.workers,
+            "provenance": bench_manifest(),
+        }
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(self.manifest, indent=1, sort_keys=True))
+        os.replace(tmp, path)
+
+    # -- the map contract ----------------------------------------------
+    def map(
+        self,
+        problem: "Problem",
+        cost: "CostModel",
+        configs: Sequence,
+        *,
+        progress: Callable[[int, int, str], None] | None = None,
+    ) -> list["RunResult"]:
+        """Run every config through the service; results in submission
+        order, identical to :func:`~repro.harness.parallel.map_runs`
+        modulo the host fields."""
+        configs = list(configs)
+        if not configs:
+            return []
+        wkey = workload_key(problem, cost)
+        planned = self.scheduler.expand(problem, cost, configs)
+        self.scheduler.schedule(self.queue, planned)
+        self.dispatcher.run(problem, cost, wkey, planned, progress=progress)
+        keys = [run_key(wkey, config) for config in configs]
+        for key in keys:
+            if key not in self._seen:
+                self._seen.add(key)
+                self._order.append(key)
+        return [self.measurer.get(key) for key in keys]
+
+    # -- finalization --------------------------------------------------
+    @property
+    def stats(self):
+        """The dispatcher's :class:`~repro.service.dispatcher.
+        ServiceStats`."""
+        return self.dispatcher.stats
+
+    def summary(self) -> dict:
+        """Counts + the merged fingerprint of everything mapped so far."""
+        payload = {
+            "n_runs": len(self._order),
+            "n_tasks": len(self.queue),
+            "queue": self.queue.counts(),
+            "service": self.stats.as_dict(),
+            "merged_fingerprint": self.measurer.merged_fingerprint(self._order),
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.stats.as_dict()
+        return payload
+
+    def finalize(self) -> dict:
+        """Write the cross-batch artifacts (durable mode) and return the
+        summary. Call once, after the last :meth:`map`."""
+        summary = self.summary()
+        if self.run_dir is not None:
+            self.measurer.write_merged(self._order, self.run_dir / "merged.jsonl")
+            trace_path = self.run_dir / "service_timeline.json"
+            payload = self.timeline.result()
+            if trace_path.exists():
+                # A resumed dispatcher only transitions the tasks it
+                # actually touched — journal-served boxes make no queue
+                # transitions at all — so this recording alone would
+                # erase the original run's history.
+                try:
+                    payload = _merge_timelines(
+                        json.loads(trace_path.read_text()), payload
+                    )
+                except (json.JSONDecodeError, OSError):
+                    pass  # corrupt prior trace: the fresh recording stands
+            export_chrome_trace(payload, trace_path)
+            path = self.run_dir / "summary.json"
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(summary, indent=1, sort_keys=True))
+            os.replace(tmp, path)
+        return summary
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owned_pool is not None:
+            self._owned_pool.close()
+        self.queue.close()
+        self.measurer.close()
+        if self._lock is not None:
+            try:
+                self._lock.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ExperimentService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = str(self.run_dir) if self.run_dir else "volatile"
+        return (f"ExperimentService({where}, workers={self.workers}, "
+                f"replicas={self.replicas})")

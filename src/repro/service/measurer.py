@@ -1,0 +1,159 @@
+"""Incremental result ingestion and final summary of a service run.
+
+The measurer is the service's result plane. As the dispatcher completes
+cohort boxes it hands their :class:`RunResult`\\ s over one task at a
+time, and the measurer appends them — as ordinary schema-v3 JSONL rows
+— to a per-workload journal ``results-<workload_key>.jsonl`` in the run
+directory (append + flush + fsync, so a crash after ``task_done`` never
+loses the rows that justified it). On resume, replaying the journals
+rebuilds bitwise-identical :class:`RunResult`\\ s via the same
+:func:`~repro.harness.cache.result_from_row` path the run cache uses —
+the journal *is* a cache keyed by run key instead of content address.
+
+Journals are per-workload because the run key embeds the workload key
+(:func:`~repro.service.scheduler.run_key`): replay needs only the
+config hash of each row plus the file's own workload prefix, never a
+re-fingerprint of the corpus.
+
+:meth:`Measurer.finalize` writes the cross-call artifacts:
+
+* ``merged.jsonl`` — every run row in global submission order (atomic
+  tmp + rename), the file downstream analysis reads;
+* a ``merged_fingerprint`` — sha256 over the per-row
+  :func:`~repro.harness.cache.simulation_fingerprint`\\ s in order.
+  Two service runs produced the same science iff these match (host
+  fields excepted), which is what the resume-smoke CI gate compares.
+
+Volatile mode (``run_dir=None``) keeps results purely in memory: same
+interface, no files — the one-shot CLI path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.harness.cache import result_from_row, simulation_fingerprint
+from repro.observe.provenance import config_hash
+from repro.telemetry.jsonl import result_to_line
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.harness.runner import RunResult
+
+__all__ = ["Measurer"]
+
+
+class Measurer:
+    """Accumulates completed runs, durably when given a run directory."""
+
+    def __init__(self, run_dir: str | Path | None = None) -> None:
+        self.run_dir = Path(run_dir) if run_dir is not None else None
+        self._results: dict[str, "RunResult"] = {}
+        self._journals: dict[str, object] = {}  # wkey -> open append handle
+        self._loaded: set[str] = set()
+
+    # -- journal replay ------------------------------------------------
+    def _journal_path(self, wkey: str) -> Path:
+        return self.run_dir / f"results-{wkey}.jsonl"
+
+    def load_workload(self, wkey: str) -> int:
+        """Replay this workload's journal (idempotent); returns how many
+        archived runs it holds. Torn or corrupt lines are skipped with a
+        warning — the affected runs simply re-execute (the dispatcher
+        requeues any DONE task whose rows went missing)."""
+        if self.run_dir is None or wkey in self._loaded:
+            return sum(1 for key in self._results if key.startswith(f"{wkey}:"))
+        self._loaded.add(wkey)
+        path = self._journal_path(wkey)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return 0
+        from repro.utils.serialization import _decode
+
+        loaded = 0
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if not line.strip():
+                continue
+            try:
+                row = _decode(json.loads(line))
+                result = result_from_row(row)
+            except Exception as exc:
+                warnings.warn(
+                    f"measurer: skipping unreadable row {path}:{lineno} "
+                    f"({exc}); the run will re-execute",
+                    RuntimeWarning, stacklevel=2,
+                )
+                continue
+            key = f"{wkey}:{config_hash(result.config)}"
+            self._results.setdefault(key, result)
+            loaded += 1
+        return loaded
+
+    # -- ingestion -----------------------------------------------------
+    def has(self, run_key: str) -> bool:
+        return run_key in self._results
+
+    def get(self, run_key: str) -> "RunResult":
+        return self._results[run_key]
+
+    def ingest(
+        self, wkey: str, items: Sequence[tuple[str, "RunResult"]]
+    ) -> None:
+        """Record one task's completed runs: ``(run_key, result)`` pairs
+        in cohort order. Already-known keys are skipped (idempotent), so
+        re-ingesting after a requeue never duplicates journal rows."""
+        fresh = [(key, result) for key, result in items
+                 if key not in self._results]
+        for key, result in fresh:
+            self._results[key] = result
+        if self.run_dir is None or not fresh:
+            return
+        journal = self._journals.get(wkey)
+        if journal is None:
+            self.run_dir.mkdir(parents=True, exist_ok=True)
+            journal = self._journals[wkey] = open(
+                self._journal_path(wkey), "a", encoding="utf-8"
+            )
+        for _, result in fresh:
+            journal.write(result_to_line(result) + "\n")
+        journal.flush()
+        os.fsync(journal.fileno())
+
+    # -- finalization --------------------------------------------------
+    def merged_fingerprint(self, order: Sequence[str]) -> str:
+        """sha256 over the ordered per-run simulation fingerprints: the
+        identity of the *science* this service run produced."""
+        h = hashlib.sha256()
+        for key in order:
+            h.update(simulation_fingerprint(self._results[key]).encode())
+        return h.hexdigest()
+
+    def write_merged(self, order: Sequence[str], path: str | Path) -> Path:
+        """``merged.jsonl``: every run row in submission order, written
+        atomically (tmp + rename) so a crash never leaves a partial
+        merge next to a DONE queue."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as fh:
+            for key in order:
+                fh.write(result_to_line(self._results[key]) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    def close(self) -> None:
+        for journal in self._journals.values():
+            journal.close()
+        self._journals.clear()
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        where = str(self.run_dir) if self.run_dir else "volatile"
+        return f"Measurer({where}, {len(self._results)} runs)"

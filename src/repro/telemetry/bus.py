@@ -68,6 +68,16 @@ emitting worker's tid):
     simulation, and carry no virtual time. ``key`` is the
     content-addressed cache key (hex digest); ``reason`` explains why
     a run skipped the cache (e.g. ``"self_profile"``).
+``task_enqueued(time, task_id, n_runs)`` / ``task_leased(time,
+task_id, attempt)`` / ``task_done(time, task_id, n_runs, source)`` /
+``task_requeued(time, task_id, reason)``
+    Queue lifecycle of the experiment service
+    (:mod:`repro.service.queue`). Host-side service-plane events:
+    ``time`` is *host* seconds since the service came up (not virtual
+    time), emitted by the dispatcher process only. ``source`` says how
+    a task completed (``"executed"``, ``"cache"``, ``"journal"``);
+    ``reason`` why a lease went back to PENDING (``"lease-expired"``,
+    ``"orphaned"``, ``"retry-failed"``, ``"missing-results"``).
 """
 
 from __future__ import annotations
@@ -93,6 +103,10 @@ EVENTS = (
     "cache_hit",
     "cache_miss",
     "cache_bypass",
+    "task_enqueued",
+    "task_leased",
+    "task_done",
+    "task_requeued",
 )
 
 

@@ -202,3 +202,48 @@ class TestWorkerPool:
         pool.close()
         assert pool.stats.shm_bytes == 0
         assert broadcast.segments == []
+
+
+class TestFinalizers:
+    """Abnormal exits must not leak /dev/shm segments (the GC backstop
+    behind ``close()``)."""
+
+    def test_broadcast_finalizer_releases_segments(self, cost):
+        import gc
+
+        from multiprocessing import shared_memory
+
+        broadcast = make_broadcast(BigArrayProblem(), cost)
+        assert broadcast.mode == "shm"
+        names = [segment.name for segment in broadcast.segments]
+        assert names
+        del broadcast  # dropped without close(): the crash/exception path
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_pool_finalizer_releases_broadcasts(self, cost, two_cores):
+        import gc
+
+        from multiprocessing import shared_memory
+
+        pool = WorkerPool(2)
+        broadcast = pool.broadcast_for(BigArrayProblem(), cost)
+        names = [segment.name for segment in broadcast.segments]
+        assert names
+        del broadcast
+        del pool  # never close()d — e.g. a KeyboardInterrupt unwound past it
+        gc.collect()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_close_then_finalizer_is_idempotent(self, cost):
+        import gc
+
+        broadcast = make_broadcast(BigArrayProblem(), cost)
+        broadcast.close()
+        assert broadcast.segments == []
+        del broadcast
+        gc.collect()  # the detached finalizer must not double-unlink

@@ -176,3 +176,59 @@ class TestSvgFallback:
         text = render_timeline_svg(timeline).render()
         assert "nan" not in text.lower().replace("instance", "")
         assert math.isfinite(len(text))
+
+
+class TestServiceTrack:
+    """Queue lifecycle events render as a dispatcher track (pid 1)."""
+
+    @pytest.fixture()
+    def service_timeline(self):
+        from repro.observe.timeline import SERVICE_PID
+        from repro.telemetry.bus import ProbeBus
+
+        bus = ProbeBus()
+        recorder = TimelineRecorder()
+        bus.attach(recorder)
+        bus.task_enqueued(0.0, "t-aaa", 2)
+        bus.task_enqueued(0.0, "t-bbb", 1)
+        bus.task_leased(0.1, "t-aaa", 1)
+        bus.task_requeued(0.2, "t-aaa", "lease-expired")
+        bus.task_leased(0.3, "t-aaa", 2)
+        bus.task_done(0.9, "t-aaa", 2, "executed")
+        bus.task_leased(0.9, "t-bbb", 1)
+        bus.task_done(1.0, "t-bbb", 1, "cache")
+        return SERVICE_PID, recorder.result()
+
+    def test_payload_validates(self, service_timeline):
+        _, payload = service_timeline
+        validate_chrome_trace(payload)
+
+    def test_events_live_on_service_pid(self, service_timeline):
+        service_pid, payload = service_timeline
+        events = [e for e in payload["traceEvents"] if e.get("ph") != "M"]
+        assert events
+        assert {e["pid"] for e in events} == {service_pid}
+
+    def test_done_renders_lease_to_done_span(self, service_timeline):
+        _, payload = service_timeline
+        spans = {e["name"]: e for e in payload["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert "task t-aaa" in spans and "task t-bbb" in spans
+        # The span starts at the *latest* lease, not the expired one.
+        assert spans["task t-aaa"]["ts"] == pytest.approx(0.3e6)
+        assert spans["task t-aaa"]["dur"] == pytest.approx(0.6e6)
+        assert spans["task t-aaa"]["args"]["source"] == "executed"
+
+    def test_track_is_named(self, service_timeline):
+        service_pid, payload = service_timeline
+        meta = [e for e in payload["traceEvents"] if e.get("ph") == "M"]
+        names = {(e["pid"], e["args"]["name"]) for e in meta}
+        assert (service_pid, "repro service") in names
+        assert (service_pid, "dispatcher") in names
+
+    def test_simulation_tracks_unpolluted(self, service_timeline, timeline):
+        # A recorder that saw only simulation events must not emit the
+        # service metadata track.
+        meta_names = {e["args"]["name"] for e in timeline["traceEvents"]
+                      if e.get("ph") == "M"}
+        assert "repro service" not in meta_names

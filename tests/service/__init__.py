@@ -1,0 +1,2 @@
+"""Tests for the experiment service (queue / scheduler / dispatcher /
+measurer)."""

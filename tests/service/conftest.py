@@ -1,0 +1,27 @@
+"""Shared fixtures for the service tests: a tiny quadratic workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import QuadraticProblem
+from repro.harness.config import RunConfig
+from repro.sim.cost import CostModel
+
+
+@pytest.fixture(scope="package")
+def problem():
+    return QuadraticProblem(32, h=1.0, b=1.0, noise_sigma=0.1)
+
+
+@pytest.fixture(scope="package")
+def cost():
+    return CostModel(tc=2e-3, tu=1e-3, t_copy=5e-4)
+
+
+def make_config(seed=0, algorithm="ASYNC", m=2, eta=0.05, max_updates=400):
+    return RunConfig(
+        algorithm=algorithm, m=m, eta=eta, seed=seed,
+        epsilons=(0.5, 0.1), target_epsilon=0.1,
+        max_updates=max_updates, max_virtual_time=10.0,
+    )

@@ -1,0 +1,225 @@
+"""The durable task queue: transitions, journal replay, leases, lock."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.queue import TaskQueue, TaskState, acquire_run_lock
+from repro.telemetry.bus import ProbeBus
+
+
+def keys(n):
+    return tuple(f"wk:{i:02d}" for i in range(n))
+
+
+class TestTransitions:
+    def test_enqueue_lease_done(self):
+        q = TaskQueue()
+        assert q.enqueue("t-1", keys(2))
+        assert q.get("t-1").state is TaskState.PENDING
+        task = q.lease("t-1", owner="me", timeout=60)
+        assert task.state is TaskState.LEASED
+        assert task.attempts == 1
+        assert task.owner == "me"
+        q.mark_done("t-1", source="executed")
+        assert q.get("t-1").state is TaskState.DONE
+        assert q.get("t-1").source == "executed"
+
+    def test_enqueue_known_id_is_noop(self):
+        q = TaskQueue()
+        assert q.enqueue("t-1", keys(2))
+        q.lease("t-1", owner="me", timeout=60)
+        q.mark_done("t-1", source="cache")
+        assert not q.enqueue("t-1", keys(2))
+        assert q.get("t-1").state is TaskState.DONE
+
+    def test_lease_requires_pending(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        q.lease("t-1", owner="me", timeout=60)
+        with pytest.raises(ConfigurationError, match="cannot lease"):
+            q.lease("t-1", owner="me", timeout=60)
+
+    def test_done_requires_leased(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        with pytest.raises(ConfigurationError, match="cannot complete"):
+            q.mark_done("t-1", source="executed")
+
+    def test_fail_then_requeue_then_lease_again(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        q.lease("t-1", owner="me", timeout=60)
+        q.mark_failed("t-1", error="RuntimeError('boom')")
+        assert q.get("t-1").state is TaskState.FAILED
+        assert "boom" in q.get("t-1").error
+        q.requeue("t-1", reason="retry-failed")
+        task = q.lease("t-1", owner="me", timeout=60)
+        assert task.attempts == 2
+
+    def test_requeue_pending_is_noop(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        q.requeue("t-1", reason="whatever")
+        assert q.get("t-1").state is TaskState.PENDING
+        assert q.get("t-1").attempts == 0
+
+    def test_counts_and_len(self):
+        q = TaskQueue()
+        for i in range(3):
+            q.enqueue(f"t-{i}", keys(1))
+        q.lease("t-0", owner="me", timeout=60)
+        q.mark_done("t-0", source="executed")
+        q.lease("t-1", owner="me", timeout=60)
+        tally = q.counts()
+        assert tally == {"PENDING": 1, "LEASED": 1, "DONE": 1, "FAILED": 0}
+        assert len(q) == 3
+
+    def test_tasks_iterates_in_enqueue_order(self):
+        q = TaskQueue()
+        for name in ("t-b", "t-a", "t-c"):
+            q.enqueue(name, keys(1))
+        assert [t.task_id for t in q.tasks()] == ["t-b", "t-a", "t-c"]
+
+
+class TestRecovery:
+    def test_foreign_owner_is_orphaned(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        q.lease("t-1", owner="dead-pid", timeout=3600)
+        assert q.recover("live-pid") == ["t-1"]
+        assert q.get("t-1").state is TaskState.PENDING
+
+    def test_expired_own_lease_is_requeued(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        task = q.lease("t-1", owner="me", timeout=60)
+        assert q.recover("me", now=task.lease_deadline + 1) == ["t-1"]
+        assert q.get("t-1").state is TaskState.PENDING
+
+    def test_live_own_lease_is_kept(self):
+        q = TaskQueue()
+        q.enqueue("t-1", keys(1))
+        q.lease("t-1", owner="me", timeout=3600)
+        assert q.recover("me") == []
+        assert q.get("t-1").state is TaskState.LEASED
+
+
+class TestJournal:
+    def test_replay_restores_state(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        q = TaskQueue(path)
+        q.enqueue("t-1", keys(2))
+        q.enqueue("t-2", keys(1))
+        q.lease("t-1", owner="me", timeout=60)
+        q.mark_done("t-1", source="executed")
+        q.lease("t-2", owner="me", timeout=60)
+        q.close()
+
+        replayed = TaskQueue(path)
+        assert replayed.get("t-1").state is TaskState.DONE
+        assert replayed.get("t-1").source == "executed"
+        assert replayed.get("t-1").run_keys == keys(2)
+        assert replayed.get("t-2").state is TaskState.LEASED
+        assert replayed.get("t-2").owner == "me"
+        replayed.close()
+
+    def test_torn_final_line_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        q = TaskQueue(path)
+        q.enqueue("t-1", keys(1))
+        q.lease("t-1", owner="me", timeout=60)
+        q.close()
+        with path.open("a") as fh:
+            fh.write('{"op": "done", "task": "t-1", "sou')  # kill -9 mid-write
+        with pytest.warns(RuntimeWarning, match="torn final journal line"):
+            replayed = TaskQueue(path)
+        # The lost transition re-happens: still LEASED, recoverable.
+        assert replayed.get("t-1").state is TaskState.LEASED
+        replayed.close()
+
+    def test_corrupt_middle_line_is_an_error(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        q = TaskQueue(path)
+        q.enqueue("t-1", keys(1))
+        q.close()
+        lines = path.read_text().splitlines()
+        lines.insert(0, "not json at all")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt at line 1"):
+            TaskQueue(path)
+
+    def test_journal_appends_not_rewrites(self, tmp_path):
+        path = tmp_path / "queue.jsonl"
+        q = TaskQueue(path)
+        q.enqueue("t-1", keys(1))
+        q.lease("t-1", owner="me", timeout=60)
+        q.mark_done("t-1", source="cache")
+        q.close()
+        ops = [json.loads(line)["op"] for line in path.read_text().splitlines()]
+        assert ops == ["enqueue", "lease", "done"]
+
+
+class TestBusEvents:
+    def test_lifecycle_events_emitted(self):
+        bus = ProbeBus()
+        seen = []
+
+        class Probe:
+            def on_task_enqueued(self, time, task_id, n_runs):
+                seen.append(("enqueued", task_id, n_runs))
+
+            def on_task_leased(self, time, task_id, attempt):
+                seen.append(("leased", task_id, attempt))
+
+            def on_task_done(self, time, task_id, n_runs, source):
+                seen.append(("done", task_id, source))
+
+            def on_task_requeued(self, time, task_id, reason):
+                seen.append(("requeued", task_id, reason))
+
+        bus.attach(Probe())
+        q = TaskQueue(bus=bus)
+        q.enqueue("t-1", keys(2))
+        q.lease("t-1", owner="a", timeout=0)
+        q.recover("b")
+        q.lease("t-1", owner="b", timeout=60)
+        q.mark_done("t-1", source="executed")
+        assert seen == [
+            ("enqueued", "t-1", 2),
+            ("leased", "t-1", 1),
+            ("requeued", "t-1", "orphaned"),
+            ("leased", "t-1", 2),
+            ("done", "t-1", "executed"),
+        ]
+
+
+class TestRunLock:
+    def test_acquire_and_release(self, tmp_path):
+        lock = acquire_run_lock(tmp_path, "owner-a")
+        assert lock.exists()
+        holder = json.loads(lock.read_text())
+        assert holder["pid"] == os.getpid()
+        assert holder["owner"] == "owner-a"
+
+    def test_live_pid_conflicts(self, tmp_path, monkeypatch):
+        (tmp_path / "LOCK").write_text(json.dumps({"pid": 1, "owner": "x"}))
+        monkeypatch.setattr(os, "kill", lambda pid, sig: None)  # pid 1 "alive"
+        with pytest.raises(ConfigurationError, match="locked by live pid"):
+            acquire_run_lock(tmp_path, "owner-b")
+
+    def test_dead_pid_lock_is_stolen(self, tmp_path):
+        (tmp_path / "LOCK").write_text(
+            json.dumps({"pid": 2 ** 22 + 12345, "owner": "ghost"})
+        )
+        lock = acquire_run_lock(tmp_path, "owner-b")
+        assert json.loads(lock.read_text())["owner"] == "owner-b"
+
+    def test_torn_lock_is_stolen(self, tmp_path):
+        (tmp_path / "LOCK").write_text('{"pid": 123')  # writer died mid-write
+        lock = acquire_run_lock(tmp_path, "owner-b")
+        assert json.loads(lock.read_text())["owner"] == "owner-b"

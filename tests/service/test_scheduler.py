@@ -1,0 +1,81 @@
+"""Scheduler identity: run keys, task ids, cohort grouping, dedup."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.problem import QuadraticProblem
+from repro.service.queue import TaskQueue
+from repro.service.scheduler import (
+    SweepScheduler,
+    run_key,
+    task_id_for,
+    workload_key,
+)
+
+from tests.service.conftest import make_config
+
+
+class TestWorkloadKey:
+    def test_same_workload_same_key(self, problem, cost):
+        assert workload_key(problem, cost) == workload_key(problem, cost)
+
+    def test_different_problem_different_key(self, problem, cost):
+        other = QuadraticProblem(16, h=1.0, b=1.0, noise_sigma=0.1)
+        assert workload_key(problem, cost) != workload_key(other, cost)
+
+    def test_different_cost_different_key(self, problem, cost):
+        other = replace(cost, tc=cost.tc * 2)
+        assert workload_key(problem, cost) != workload_key(problem, other)
+
+    def test_run_key_embeds_workload(self, problem, cost):
+        # The S5 shape: identical configs against two workloads must not
+        # collide — config_hash alone is not a run identity.
+        config = make_config()
+        other = QuadraticProblem(16, h=1.0, b=1.0, noise_sigma=0.1)
+        k1 = run_key(workload_key(problem, cost), config)
+        k2 = run_key(workload_key(other, cost), config)
+        assert k1 != k2
+        assert k1.split(":")[1] == k2.split(":")[1]  # same config half
+
+
+class TestExpansion:
+    def test_deterministic_task_ids(self, problem, cost):
+        configs = [make_config(seed=s) for s in range(4)]
+        a = SweepScheduler(replicas=2).expand(problem, cost, configs)
+        b = SweepScheduler(replicas=2).expand(problem, cost, configs)
+        assert [t.task_id for t in a] == [t.task_id for t in b]
+
+    def test_replicas_bound_cohort_size(self, problem, cost):
+        configs = [make_config(seed=s) for s in range(5)]
+        planned = SweepScheduler(replicas=2).expand(problem, cost, configs)
+        assert [len(t) for t in planned] == [2, 2, 1]
+        assert sorted(i for t in planned for i in t.indices) == list(range(5))
+
+    def test_singleton_tasks_with_replicas_one(self, problem, cost):
+        configs = [make_config(seed=s) for s in range(3)]
+        planned = SweepScheduler(replicas=1).expand(problem, cost, configs)
+        assert [len(t) for t in planned] == [1, 1, 1]
+
+    def test_duplicate_configs_collapse(self, problem, cost):
+        config = make_config(seed=0)
+        planned = SweepScheduler(replicas=1).expand(
+            problem, cost, [config, config, make_config(seed=1)]
+        )
+        assert sum(len(t) for t in planned) == 2  # one box per unique run
+
+    def test_task_id_hashes_ordered_run_keys(self):
+        assert task_id_for(["a", "b"]) != task_id_for(["b", "a"])
+        assert task_id_for(["a", "b"]).startswith("t-")
+
+
+class TestScheduling:
+    def test_schedule_counts_only_new(self, problem, cost):
+        configs = [make_config(seed=s) for s in range(4)]
+        scheduler = SweepScheduler(replicas=2)
+        planned = scheduler.expand(problem, cost, configs)
+        queue = TaskQueue()
+        assert scheduler.schedule(queue, planned) == 2
+        # Re-scheduling the same sweep is a no-op: the resume property.
+        assert scheduler.schedule(queue, planned) == 0
+        assert len(queue) == 2

@@ -1,0 +1,232 @@
+"""ExperimentService: the map contract, durable mode, cache interplay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.cache import RunCache, simulation_fingerprint
+from repro.harness.parallel import map_runs
+from repro.service import ExperimentService, load_manifest
+from repro.service.queue import TaskState
+
+from tests.service.conftest import make_config
+
+
+def fingerprints(results):
+    return [simulation_fingerprint(r) for r in results]
+
+
+class TestMapContract:
+    def test_matches_map_runs_bitwise(self, problem, cost):
+        configs = [make_config(seed=s, algorithm=a)
+                   for a in ("ASYNC", "LSH_ps0") for s in (0, 1)]
+        base = map_runs(problem, cost, configs, workers=1, replicas=1)
+        with ExperimentService(workers=1, replicas=2) as service:
+            got = service.map(problem, cost, configs)
+        assert fingerprints(got) == fingerprints(base)
+
+    def test_results_in_submission_order(self, problem, cost):
+        configs = [make_config(seed=s) for s in (2, 0, 1)]
+        with ExperimentService(workers=1, replicas=2) as service:
+            got = service.map(problem, cost, configs)
+        assert [r.config.seed for r in got] == [2, 0, 1]
+
+    def test_empty_batch(self, problem, cost):
+        with ExperimentService() as service:
+            assert service.map(problem, cost, []) == []
+
+    def test_duplicate_configs_run_once(self, problem, cost):
+        config = make_config(seed=0)
+        with ExperimentService(workers=1, replicas=1) as service:
+            got = service.map(problem, cost, [config, config])
+            assert service.stats.runs_executed == 1
+        assert simulation_fingerprint(got[0]) == simulation_fingerprint(got[1])
+
+    def test_second_map_reuses_journal(self, problem, cost):
+        configs = [make_config(seed=s) for s in (0, 1)]
+        with ExperimentService(workers=1, replicas=1) as service:
+            service.map(problem, cost, configs)
+            service.map(problem, cost, configs)
+            assert service.stats.runs_executed == 2
+            assert service.stats.tasks_from_journal == 2
+
+    def test_mixed_outcomes_preserved(self, problem, cost):
+        # One healthy replica, one diverging one, in the same cohort box.
+        configs = [make_config(seed=0, eta=0.05),
+                   make_config(seed=0, eta=50.0)]
+        base = map_runs(problem, cost, configs, workers=1, replicas=1)
+        with ExperimentService(workers=1, replicas=2) as service:
+            got = service.map(problem, cost, configs)
+        assert fingerprints(got) == fingerprints(base)
+        assert {r.status.value for r in got} == {r.status.value for r in base}
+        assert len({r.status.value for r in got}) == 2
+
+
+class TestDurableMode:
+    def test_run_dir_layout_after_finalize(self, tmp_path, problem, cost):
+        configs = [make_config(seed=s) for s in (0, 1)]
+        with ExperimentService(
+            tmp_path / "run", workers=1, replicas=2,
+            manifest={"step": "s1", "profile": "quick"},
+        ) as service:
+            service.map(problem, cost, configs)
+            summary = service.finalize()
+        run_dir = tmp_path / "run"
+        for name in ("manifest.json", "queue.jsonl", "merged.jsonl",
+                     "summary.json", "service_timeline.json"):
+            assert (run_dir / name).exists(), name
+        assert not (run_dir / "LOCK").exists()  # released on close
+        stored = json.loads((run_dir / "summary.json").read_text())
+        assert stored["merged_fingerprint"] == summary["merged_fingerprint"]
+        assert stored["n_runs"] == 2
+        assert stored["queue"]["DONE"] == 1
+
+    def test_resume_executes_nothing_when_complete(self, tmp_path, problem,
+                                                   cost):
+        configs = [make_config(seed=s) for s in (0, 1, 2)]
+        run_dir = tmp_path / "run"
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            service.map(problem, cost, configs)
+            first = service.finalize()
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            service.map(problem, cost, configs)
+            second = service.finalize()
+            assert service.stats.runs_executed == 0
+            assert service.stats.tasks_from_journal == 2
+        assert second["merged_fingerprint"] == first["merged_fingerprint"]
+
+    def test_resume_preserves_service_timeline(self, tmp_path, problem, cost):
+        # Journal-served boxes make no queue transitions, so a resume's
+        # finalize would otherwise overwrite the trace with an empty
+        # recording; finalize must merge with the prior export instead.
+        from repro.observe.timeline import validate_chrome_trace
+
+        configs = [make_config(seed=s) for s in (0, 1, 2)]
+        run_dir = tmp_path / "run"
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            service.map(problem, cost, configs)
+            service.finalize()
+        trace_path = run_dir / "service_timeline.json"
+        first = json.loads(trace_path.read_text())
+        spans = [e for e in first["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2  # one lease->done span per box
+
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            service.map(problem, cost, configs)
+            service.finalize()
+            assert service.stats.runs_executed == 0
+        second = json.loads(trace_path.read_text())
+        assert [e for e in second["traceEvents"] if e["ph"] == "X"] == spans
+        validate_chrome_trace(second)
+
+    def test_resume_executes_only_missing_boxes(self, tmp_path, problem,
+                                                cost):
+        configs = [make_config(seed=s) for s in range(4)]
+        run_dir = tmp_path / "run"
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            # First session only sees half the sweep.
+            service.map(problem, cost, configs[:2])
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            service.map(problem, cost, configs)
+            assert service.stats.runs_executed == 2
+            assert service.stats.tasks_from_journal == 1
+            assert service.stats.tasks_executed == 1
+
+    def test_interrupted_lease_is_recovered(self, tmp_path, problem, cost):
+        configs = [make_config(seed=s) for s in (0, 1)]
+        run_dir = tmp_path / "run"
+        # Simulate a dispatcher that died mid-lease: enqueue + lease by a
+        # foreign owner, no results.
+        from repro.service.queue import TaskQueue
+        from repro.service.scheduler import SweepScheduler
+
+        run_dir.mkdir()
+        queue = TaskQueue(run_dir / "queue.jsonl")
+        planned = SweepScheduler(replicas=2).expand(problem, cost, configs)
+        SweepScheduler(replicas=2).schedule(queue, planned)
+        queue.lease(planned[0].task_id, owner="dead-dispatcher", timeout=3600)
+        queue.close()
+
+        with ExperimentService(run_dir, workers=1, replicas=2) as service:
+            got = service.map(problem, cost, configs)
+            assert service.stats.tasks_requeued == 1
+            assert service.stats.runs_executed == 2
+        base = map_runs(problem, cost, configs, workers=1, replicas=1)
+        assert fingerprints(got) == fingerprints(base)
+
+    def test_manifest_mismatch_refuses_resume(self, tmp_path, problem, cost):
+        run_dir = tmp_path / "run"
+        with ExperimentService(run_dir, manifest={"step": "s1",
+                                                  "profile": "quick"}):
+            pass
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            ExperimentService(run_dir, manifest={"step": "s5",
+                                                 "profile": "quick"})
+
+    def test_load_manifest_errors(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no manifest.json"):
+            load_manifest(tmp_path)
+        (tmp_path / "manifest.json").write_text("{broken")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_manifest(tmp_path)
+
+    def test_second_live_dispatcher_is_rejected(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with ExperimentService(run_dir):
+            with pytest.raises(ConfigurationError, match="locked by live pid"):
+                ExperimentService(run_dir)
+
+
+class TestCacheInterplay:
+    def test_cache_serves_second_service(self, tmp_path, problem, cost):
+        configs = [make_config(seed=s) for s in (0, 1)]
+        cache = RunCache(tmp_path / "cache")
+        with ExperimentService(workers=1, replicas=1, cache=cache) as service:
+            base = service.map(problem, cost, configs)
+            assert service.stats.runs_executed == 2
+        assert cache.stats.tasks_executed == 2
+        with ExperimentService(workers=1, replicas=1, cache=cache) as service:
+            got = service.map(problem, cost, configs)
+            assert service.stats.runs_executed == 0
+            assert service.stats.runs_from_cache == 2
+            assert service.stats.tasks_from_cache == 2
+        assert cache.stats.tasks_served == 2
+        assert fingerprints(got) == fingerprints(base)
+
+    def test_stats_line_mentions_tasks(self, tmp_path, problem, cost):
+        cache = RunCache(tmp_path / "cache")
+        with ExperimentService(workers=1, replicas=1, cache=cache) as service:
+            service.map(problem, cost, [make_config()])
+        line = str(cache.stats)
+        assert "tasks: 0 served / 1 executed" in line
+
+    def test_journal_wins_over_cache(self, tmp_path, problem, cost):
+        # A durable resume should count as journal, not cache, even when
+        # both could serve the run.
+        configs = [make_config(seed=0)]
+        cache = RunCache(tmp_path / "cache")
+        run_dir = tmp_path / "run"
+        with ExperimentService(run_dir, workers=1, replicas=1,
+                               cache=cache) as service:
+            service.map(problem, cost, configs)
+        with ExperimentService(run_dir, workers=1, replicas=1,
+                               cache=cache) as service:
+            service.map(problem, cost, configs)
+            assert service.stats.tasks_from_journal == 1
+            assert service.stats.tasks_from_cache == 0
+
+    def test_queue_records_completion_source(self, tmp_path, problem, cost):
+        cache = RunCache(tmp_path / "cache")
+        config = make_config(seed=0)
+        with ExperimentService(workers=1, replicas=1, cache=cache) as service:
+            service.map(problem, cost, [config])
+            task = next(service.queue.tasks())
+            assert task.state is TaskState.DONE
+            assert task.source == "executed"
+        with ExperimentService(workers=1, replicas=1, cache=cache) as service:
+            service.map(problem, cost, [config])
+            task = next(service.queue.tasks())
+            assert task.source == "cache"

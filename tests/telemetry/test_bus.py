@@ -101,10 +101,11 @@ class TestEventVocabulary:
 
     def test_vocabulary_is_closed(self):
         # The bus only accepts the documented events: the protocol
-        # vocabulary plus the host-side execution events (kernel_fallback
-        # and the run-cache traffic trio).
+        # vocabulary plus the host-side execution events (kernel_fallback,
+        # the run-cache traffic trio, and the task-queue lifecycle).
         assert set(EVENTS) == {
             "read_pinned", "grad_done", "lau_enter", "cas_attempt",
             "publish", "drop", "lock_wait", "reclaim", "view_divergence",
             "kernel_fallback", "cache_hit", "cache_miss", "cache_bypass",
+            "task_enqueued", "task_leased", "task_done", "task_requeued",
         }

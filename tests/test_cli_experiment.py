@@ -65,6 +65,94 @@ class TestExperimentCommand:
         assert main(["experiment", "s5", "--no-cache"]) == 0
         assert "cache:" not in capsys.readouterr().out
 
+    def test_service_summary_line(self, micro_quick, capsys):
+        assert main(["experiment", "s5"]) == 0
+        out = capsys.readouterr().out
+        assert "service:" in out and "executed" in out and "resumed" in out
+
+    def test_cache_line_reports_task_traffic(self, micro_quick, capsys,
+                                             tmp_path):
+        cache_dir = str(tmp_path / "runs")
+        assert main(["experiment", "s5", "--cache-dir", cache_dir]) == 0
+        cold = capsys.readouterr().out
+        assert "tasks: 0 served /" in cold
+        assert main(["experiment", "s5", "--cache-dir", cache_dir]) == 0
+        warm = capsys.readouterr().out
+        assert " served / 0 executed" in warm
+
+
+class TestExperimentService:
+    def test_run_dir_writes_artifacts(self, micro_quick, capsys, tmp_path):
+        run_dir = tmp_path / "svc"
+        assert main(["experiment", "s5", "--run-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run dir:" in out and "fingerprint" in out
+        for name in ("manifest.json", "queue.jsonl", "merged.jsonl",
+                     "summary.json", "service_timeline.json"):
+            assert (run_dir / name).exists(), name
+
+    def test_resume_completed_run_executes_nothing(self, micro_quick, capsys,
+                                                   tmp_path):
+        import json
+
+        run_dir = tmp_path / "svc"
+        assert main(["experiment", "s5", "--run-dir", str(run_dir)]) == 0
+        first = json.loads((run_dir / "summary.json").read_text())
+        capsys.readouterr()
+        # --resume needs no step: it comes from the manifest.
+        assert main(["experiment", "--resume", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "memory consumption" in out  # manifest resolved s5
+        second = json.loads((run_dir / "summary.json").read_text())
+        assert second["merged_fingerprint"] == first["merged_fingerprint"]
+        assert second["service"]["tasks_executed"] == 0
+        assert second["service"]["tasks_from_journal"] > 0
+
+    def test_resume_wrong_step_refused(self, micro_quick, capsys, tmp_path):
+        run_dir = tmp_path / "svc"
+        assert main(["experiment", "s5", "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="refusing to resume"):
+            main(["experiment", "s1", "--resume", str(run_dir)])
+
+    def test_resume_missing_manifest_errors(self, micro_quick, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="no manifest.json"):
+            main(["experiment", "--resume", str(tmp_path)])
+
+    def test_step_required_without_resume(self, micro_quick, capsys):
+        assert main(["experiment"]) == 2
+        assert "required unless --resume" in capsys.readouterr().err
+
+    def test_trace_service_exports_queue_timeline(self, micro_quick, capsys,
+                                                  tmp_path):
+        run_dir = tmp_path / "svc"
+        assert main(["experiment", "s5", "--run-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "queue_trace.json"
+        assert main(["trace", "--service", str(run_dir),
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "service run" in out
+        assert out_path.exists()
+
+
+class TestAnalyzeCacheLine:
+    def test_analyze_reports_task_traffic(self, micro_quick, capsys,
+                                          tmp_path):
+        cache_dir = str(tmp_path / "runs")
+        args = ["analyze", "--algorithm", "LSH_ps1", "--m", "2",
+                "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "cache:" in cold and "tasks: 0 served / 1 executed" in cold
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "tasks: 1 served / 0 executed" in warm
+
 
 class TestRunCommandDLWorkload:
     def test_mlp_run(self, micro_quick, capsys):
