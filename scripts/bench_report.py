@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Benchmark for the result store's ingest path and the report builder.
+
+The store is the repo's new analysis backbone: every sweep's JSONL
+flows through ``repro db ingest`` and every Section-V page through
+``repro report --db``. Both must stay cheap enough to run per-PR in
+CI. This benchmark times them on a synthetic two-algorithm sweep and
+records into ``BENCH_report.json``:
+
+1. **ingest** — a sweep's worth of JSONL rows into a fresh on-disk
+   store: ``ingest_rows_per_sec`` (the headline; dedup hashing +
+   sqlite inserts included);
+2. **re-ingest** — the same file again: must insert **zero** rows
+   (the idempotency contract, gated always, not just in smoke);
+3. **report** — ``build_report`` + structural validation on the
+   populated store: ``build_latency_s`` (lower-is-better via the
+   ``latency_s`` suffix convention).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_report.py
+    PYTHONPATH=src python scripts/bench_report.py --smoke
+
+Smoke mode shrinks the sweep and additionally gates that the built
+page passes :func:`repro.report.validate_report_html` and that the
+Mann-Whitney tables made it in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.problem import QuadraticProblem
+from repro.harness.grid import SweepGrid
+from repro.report import build_report, validate_report_html
+from repro.sim.cost import CostModel
+from repro.store import ResultStore, ingest_path
+from repro.telemetry.jsonl import write_jsonl
+
+FULL = {"repeats": 8, "thread_counts": (4, 8), "copies": 40, "reps": 3}
+SMOKE = {"repeats": 4, "thread_counts": (4,), "copies": 4, "reps": 1}
+
+
+def build_rows(spec) -> list:
+    """One deterministic two-algorithm sweep's worth of results."""
+    problem = QuadraticProblem(32, h=1.0, b=1.5, noise_sigma=0.05)
+    cost = CostModel(tc=2e-3, tu=1e-3, t_copy=5e-4)
+    grid = SweepGrid(
+        algorithms=("ASYNC", "LSH_psinf"),
+        thread_counts=spec["thread_counts"],
+        etas=(0.05,),
+        repeats=spec["repeats"],
+        seed=11,
+        epsilons=(0.5, 0.1),
+        max_wall_seconds=60.0,
+    )
+    return grid.run(problem, cost)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny gated run: idempotent re-ingest + "
+                             "validated HTML, exit nonzero on violation")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="timed passes (best kept; default 3, smoke 1)")
+    parser.add_argument("--out", default=None, help="JSON output path")
+    args = parser.parse_args()
+
+    from repro.observe.provenance import bench_manifest
+
+    spec = dict(SMOKE if args.smoke else FULL)
+    if args.reps is not None:
+        spec["reps"] = max(args.reps, 1)
+
+    results = build_rows(spec)
+    print(f"== store ingest + report build: {len(results)} distinct runs, "
+          f"x{spec['copies']} journal copies ==")
+
+    ingest_best = reingest_best = build_best = None
+    n_rows = reingested = 0
+    page = ""
+    for _ in range(spec["reps"]):
+        with tempfile.TemporaryDirectory(prefix="repro-report-") as tmp:
+            # `copies` journal files share the same provenance-distinct
+            # rows per file, so ingest hashes `copies * len(results)`
+            # rows but stores each digest once — the realistic mix of
+            # fresh inserts and dedup hits a re-run produces.
+            paths = []
+            for i in range(spec["copies"]):
+                path = os.path.join(tmp, f"sweep-{i}.jsonl")
+                write_jsonl(results, path)
+                paths.append(path)
+            n_rows = len(results) * spec["copies"]
+            db = os.path.join(tmp, "results.sqlite")
+            with ResultStore(db) as store:
+                t0 = time.perf_counter()
+                for path in paths:
+                    ingest_path(store, path)
+                elapsed = time.perf_counter() - t0
+                ingest_best = elapsed if ingest_best is None \
+                    else min(ingest_best, elapsed)
+
+                t0 = time.perf_counter()
+                report = ingest_path(store, paths[0])
+                elapsed = time.perf_counter() - t0
+                reingest_best = elapsed if reingest_best is None \
+                    else min(reingest_best, elapsed)
+                reingested += report.inserted
+
+                t0 = time.perf_counter()
+                page = build_report(store, generated_at="bench")
+                elapsed = time.perf_counter() - t0
+                build_best = elapsed if build_best is None \
+                    else min(build_best, elapsed)
+
+    print(f"  ingest {n_rows} rows:    {ingest_best:.3f}s "
+          f"({n_rows / ingest_best:,.0f} rows/s)")
+    print(f"  re-ingest (dedup):    {reingest_best:.3f}s "
+          f"({reingested} inserted — must be 0)")
+    print(f"  build + render page:  {build_best:.3f}s "
+          f"({len(page):,} bytes)")
+
+    try:
+        validate_report_html(page)
+        page_valid = True
+    except Exception as exc:  # noqa: BLE001 — recorded, gated below
+        page_valid = False
+        print(f"  page validation FAILED: {exc}")
+
+    bench = {
+        "n_distinct_runs": len(results),
+        "n_ingested_rows": n_rows,
+        "ingest_seconds": round(ingest_best, 4),
+        "ingest_rows_per_sec": round(n_rows / ingest_best, 1),
+        "reingest_inserted": reingested,
+        "build_latency_s": round(build_best, 4),
+        "page_bytes": len(page),
+        "page_valid": page_valid,
+    }
+    payload = {
+        "mode": "smoke" if args.smoke else "full",
+        "python": ".".join(map(str, sys.version_info[:3])),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "provenance": bench_manifest(),
+        "report": bench,
+    }
+    out_path = args.out or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_report.json"
+    )
+    with open(out_path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {os.path.normpath(out_path)}")
+
+    if reingested != 0:
+        print(f"FAILED: re-ingest inserted {reingested} rows (must be 0)")
+        return 1
+    if args.smoke:
+        if not page_valid:
+            print("FAILED: report page failed structural validation")
+            return 1
+        if "Mann-Whitney" not in page:
+            print("FAILED: report page is missing the Mann-Whitney tables")
+            return 1
+        print("smoke gates: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,19 @@ Commands
 ``bench-history``
     Merge the ``BENCH_*.json`` headline numbers into a trajectory file
     and exit nonzero when the current numbers regress past the previous
-    recorded entry (the CI performance gate).
+    recorded entry (the CI performance gate); warns when the previous
+    entry was recorded under different provenance (host/cpus/pool mode).
+``db``
+    The queryable result store: ``db ingest`` loads result JSONL files,
+    service run directories, and ``BENCH_history.jsonl`` into a SQLite
+    database (content-addressed — re-ingest is a no-op); ``db stats``
+    summarizes what the store holds.
+``report``
+    With ``--db``, build the living Section-V report from an ingested
+    store: a self-contained static HTML page with Mann-Whitney U /
+    Vargha-Delaney A12 / bootstrap-CI comparison tables, embedded SVG
+    figures, failure counts, and the benchmark trajectory. Without
+    ``--db``, assemble the legacy markdown reproduction report.
 
 Examples
 --------
@@ -36,6 +48,8 @@ Examples
     python -m repro analyze --smoke --tolerance 0.5
     python -m repro trace --algorithm LSH_psinf --m 4 --out trace.json --svg trace.svg
     python -m repro bench-history --record --label "$(git rev-parse --short HEAD)"
+    python -m repro db ingest runs.jsonl service_run/ --db results.sqlite
+    python -m repro report --db results.sqlite --out report.html
 """
 
 from __future__ import annotations
@@ -207,11 +221,44 @@ def _build_parser() -> argparse.ArgumentParser:
                             "REPRO_CACHE_DIR is set")
 
     report_p = sub.add_parser(
-        "report", help="build the paper-vs-measured markdown from benchmarks/rendered/"
+        "report",
+        help="build the statistical HTML report from a result store "
+             "(--db), or the legacy paper-vs-measured markdown from "
+             "benchmarks/rendered/",
     )
     report_p.add_argument("--rendered", default="benchmarks/rendered", metavar="DIR")
-    report_p.add_argument("--out", default="reproduction_report.md", metavar="PATH")
+    report_p.add_argument("--out", default="reproduction_report.md", metavar="PATH",
+                          help="output path (default report.html in --db mode)")
     report_p.add_argument("--profile", default="quick")
+    report_p.add_argument("--db", default=None, metavar="FILE",
+                          help="build the self-contained HTML report from "
+                               "this SQLite result store instead")
+    report_p.add_argument("--eps", type=float, default=None, metavar="EPS",
+                          help="comparison threshold (default: the most "
+                               "common target epsilon in the store)")
+    report_p.add_argument("--boot", type=int, default=2000, metavar="N",
+                          help="bootstrap resamples for the CIs")
+    report_p.add_argument("--seed", type=int, default=0,
+                          help="bootstrap seed (pins the report bytes)")
+    report_p.add_argument("--generated-at", default=None, metavar="TEXT",
+                          help="footer timestamp text (default: current UTC "
+                               "time; pin it for byte-identical rebuilds)")
+
+    db_p = sub.add_parser(
+        "db", help="the queryable SQLite result store (ROADMAP item 2)"
+    )
+    db_sub = db_p.add_subparsers(dest="db_command", required=True)
+    ing_p = db_sub.add_parser(
+        "ingest",
+        help="ingest JSONL results, service run dirs, BENCH_history "
+             "trajectories and trace JSON into the store (idempotent)",
+    )
+    ing_p.add_argument("paths", nargs="+", metavar="PATH",
+                       help="results .jsonl / service run dir / "
+                            "BENCH_history.jsonl / trace .json")
+    ing_p.add_argument("--db", default="results.sqlite", metavar="FILE")
+    stats_p = db_sub.add_parser("stats", help="summarize what the store holds")
+    stats_p.add_argument("--db", default="results.sqlite", metavar="FILE")
     return parser
 
 
@@ -426,9 +473,11 @@ def _cmd_bench_history(args) -> int:
         check_regressions,
         extract_headlines,
         load_history,
+        provenance_mismatches,
         render_report,
         unrecognized_bench_files,
     )
+    from repro.observe.provenance import bench_manifest
 
     bench_dir = args.bench_dir
     history_path = args.history or f"{bench_dir.rstrip('/')}/{DEFAULT_HISTORY}"
@@ -441,6 +490,11 @@ def _cmd_bench_history(args) -> int:
         print(f"bench-history: note — no extractor for {name}; skipped")
     history = load_history(history_path)
     previous = history[-1]["metrics"] if history else {}
+    if history:
+        for mismatch in provenance_mismatches(
+            bench_manifest(), history[-1].get("provenance") or {}
+        ):
+            print(f"bench-history: WARNING — {mismatch}")
     regressions = check_regressions(current, previous, max_drop=max_drop)
     report = render_report(history, current, regressions, max_drop=max_drop)
     print(report)
@@ -676,6 +730,20 @@ def _cmd_analyze(args) -> int:
         rows = [_decode(result_to_dict(result))]
     for row in rows:
         _print_analysis(row)
+    if len(rows) > 1:
+        # Multi-run archives get the outcome tally — STOPPED (budget
+        # caps) split from DIVERGED (the paper's Diverge class), which
+        # the per-run tables can't show side by side.
+        from repro.harness.cache import result_from_row
+        from repro.harness.results import failure_breakdown
+
+        breakdown = failure_breakdown(result_from_row(row) for row in rows)
+        print(render_table(
+            ["algorithm", "converged", "diverged", "stopped", "crashed"],
+            [[label, c["converged"], c["diverged"], c["stopped"], c["crashed"]]
+             for label, c in breakdown.items()],
+            title="run outcomes (STOPPED = budget cap, DIVERGED = loss guard)",
+        ))
     if args.svg:
         from repro.viz.figures import fig_occupancy_validation
 
@@ -689,6 +757,65 @@ def _cmd_analyze(args) -> int:
             print("no occupancy series to plot; skipping --svg")
     if args.smoke:
         return _occupancy_smoke(rows, args.tolerance)
+    return 0
+
+
+def _cmd_db(args) -> int:
+    from repro.store import ResultStore, ingest_paths
+
+    if args.db_command == "ingest":
+        with ResultStore(args.db) as store:
+            report = ingest_paths(store, args.paths)
+            total = store.count()
+        print(f"ingest: {report}")
+        print(f"store {args.db}: {total} runs total")
+        return 0
+    if args.db_command == "stats":
+        with ResultStore(args.db) as store:
+            rows = [
+                ["runs", store.count()],
+                ["algorithms", ", ".join(store.algorithms()) or "—"],
+                ["workloads",
+                 ", ".join(str(w) for w in store.workloads()) or "—"],
+                ["sources", ", ".join(store.sources()) or "—"],
+                ["epsilons",
+                 ", ".join(f"{e:g}" for e in store.epsilons()) or "—"],
+                ["bench entries", store.bench_entry_count()],
+                ["traces", len(store.trace_links())],
+            ]
+            print(render_table(["store", "value"], rows, title=args.db))
+            for counts in (store.failure_counts(),):
+                if counts:
+                    print(render_table(
+                        ["algorithm", "converged", "diverged", "stopped",
+                         "crashed"],
+                        [[a, c.converged, c.diverged, c.stopped, c.crashed]
+                         for a, c in sorted(counts.items())],
+                        title="run outcomes",
+                    ))
+        return 0
+    raise AssertionError(f"unhandled db command {args.db_command!r}")
+
+
+def _cmd_report_db(args) -> int:
+    from datetime import datetime, timezone
+
+    from repro.report import validate_report_html, write_report
+    from repro.store import ResultStore
+
+    out = args.out
+    if out == "reproduction_report.md":
+        out = "report.html"
+    generated_at = args.generated_at or (
+        datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M:%S UTC")
+    )
+    with ResultStore(args.db) as store:
+        path = write_report(
+            store, out, eps=args.eps, n_boot=args.boot, seed=args.seed,
+            generated_at=generated_at,
+        )
+    validate_report_html(path.read_text(encoding="utf-8"))
+    print(f"wrote {path}")
     return 0
 
 
@@ -745,11 +872,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "sweep":
         return _cmd_sweep(args)
     if args.command == "report":
+        if args.db is not None:
+            return _cmd_report_db(args)
         from repro.harness.report import write_report
 
         path = write_report(args.rendered, args.out, profile_name=args.profile)
         print(f"wrote {path}")
         return 0
+    if args.command == "db":
+        return _cmd_db(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -112,6 +112,31 @@ def failure_counts(results: Iterable[RunResult]) -> dict[str, tuple[int, int]]:
     }
 
 
+def failure_breakdown(results: Iterable[RunResult]) -> dict[str, dict[str, int]]:
+    """Full outcome tally per algorithm label, with STOPPED (harness
+    iteration / wall-time caps) split from DIVERGED (the paper's
+    Diverge class) — the distinction :func:`failure_counts` pools away
+    for box-plot bookkeeping. ``repro analyze`` and the result store's
+    report print this one: a sweep that never converges because its
+    budget is too small looks identical to one that diverges unless
+    the two are shown separately.
+    """
+    order = (
+        ("converged", RunStatus.CONVERGED),
+        ("diverged", RunStatus.DIVERGED),
+        ("stopped", RunStatus.STOPPED),
+        ("crashed", RunStatus.CRASHED),
+    )
+    groups = group_by(results, lambda r: r.config.algorithm)
+    return {
+        str(label): {
+            name: sum(1 for r in runs if r.status is status)
+            for name, status in order
+        }
+        for label, runs in sorted(groups.items(), key=lambda kv: str(kv[0]))
+    }
+
+
 def median_progress_curve(
     runs: Sequence[RunResult], *, points: int = 40
 ) -> tuple[np.ndarray, np.ndarray]:

@@ -41,8 +41,10 @@ __all__ = [
     "load_history",
     "append_history",
     "check_regressions",
+    "provenance_mismatches",
     "render_report",
     "Regression",
+    "COMPARABILITY_KEYS",
     "DEFAULT_HISTORY",
     "DEFAULT_MAX_DROP",
 ]
@@ -55,6 +57,12 @@ DEFAULT_MAX_DROP = 0.15
 
 #: Metric-name suffixes whose *increase* is the regression direction.
 LOWER_IS_BETTER = ("overhead_frac", "latency_s")
+
+#: Provenance keys whose mismatch makes a cross-record comparison
+#: apples-to-oranges: a serial-fallback record (``pool_mode``) or a
+#: different machine (``hostname``/``cpu_count``) moves every
+#: throughput headline for reasons that are not regressions.
+COMPARABILITY_KEYS = ("hostname", "cpu_count", "pool_mode")
 
 
 def _finite(value) -> float | None:
@@ -160,6 +168,19 @@ def _extract_queue(payload: dict) -> dict[str, float]:
     return out
 
 
+def _extract_report(payload: dict) -> dict[str, float]:
+    out = {}
+    report = payload.get("report") or {}
+    value = _finite(report.get("ingest_rows_per_sec"))
+    if value is not None:
+        out["report.ingest_rows_per_sec"] = value
+    # "latency_s" suffix: rides LOWER_IS_BETTER.
+    value = _finite(report.get("build_latency_s"))
+    if value is not None:
+        out["report.build_latency_s"] = value
+    return out
+
+
 #: ``BENCH_<name>.json`` -> extractor. Unknown BENCH files are ignored
 #: (reported by the CLI so new files get wired in deliberately).
 EXTRACTORS = {
@@ -169,6 +190,7 @@ EXTRACTORS = {
     "BENCH_profile.json": _extract_profile,
     "BENCH_sweep.json": _extract_sweep,
     "BENCH_queue.json": _extract_queue,
+    "BENCH_report.json": _extract_report,
 }
 
 
@@ -238,6 +260,34 @@ def append_history(
     with path.open("a") as fh:
         fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
     return path
+
+
+def provenance_mismatches(
+    current: dict,
+    previous: dict,
+    *,
+    keys: tuple[str, ...] = COMPARABILITY_KEYS,
+) -> list[str]:
+    """Comparability-key differences between two provenance manifests,
+    as human-readable descriptions (empty = comparable).
+
+    Keys absent on either side never flag — older history entries
+    predate some manifest fields, and a gate must not punish richer
+    provenance. The regression gate still *runs* on mismatch; the CLI
+    prints these as warnings so a flagged drop (or an implausible
+    improvement) can be read in context.
+    """
+    mismatches = []
+    for key in keys:
+        if key not in current or key not in previous:
+            continue
+        if current[key] != previous[key]:
+            mismatches.append(
+                f"{key} differs from the last recorded entry "
+                f"({previous[key]!r} -> {current[key]!r}) — headline "
+                "moves may reflect the environment, not the code"
+            )
+    return mismatches
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,34 @@
+"""Statistical comparison reports (ROADMAP item 2, analysis half).
+
+:mod:`repro.report.stats` carries the scipy-free test battery
+(Mann-Whitney U, Vargha-Delaney A12, bootstrap CIs);
+:mod:`repro.report.html` the self-contained page primitives and the
+structural validator; :mod:`repro.report.build` assembles the living
+Section V from a :class:`repro.store.ResultStore`. Entry point:
+``repro report --db results.sqlite``.
+"""
+
+from repro.report.build import build_report, write_report
+from repro.report.html import validate_report_html
+from repro.report.stats import (
+    BootstrapCI,
+    MannWhitneyResult,
+    a12_magnitude,
+    bootstrap_ci,
+    mann_whitney_u,
+    rankdata,
+    vargha_delaney_a12,
+)
+
+__all__ = [
+    "BootstrapCI",
+    "MannWhitneyResult",
+    "a12_magnitude",
+    "bootstrap_ci",
+    "build_report",
+    "mann_whitney_u",
+    "rankdata",
+    "validate_report_html",
+    "vargha_delaney_a12",
+    "write_report",
+]

@@ -1,0 +1,158 @@
+"""Self-contained static HTML primitives for ``repro report``.
+
+The report is a single file: inline CSS, inline SVG, zero network
+fetches — it must open identically from a CI artifact tarball, a
+laptop, or an air-gapped review machine. This module holds the
+low-level emitters (escaping, tables, sections, the page shell) and
+:func:`validate_report_html`, the structural gate CI's report-smoke
+job runs on the generated page.
+
+Byte-determinism contract: nothing here reads clocks or randomness.
+The page shell places the caller-supplied ``generated_at`` string in
+exactly one footer block (``id="generated-at"``) so two builds from
+the same store differ in zero bytes when the caller pins it — the
+determinism test diffs entire pages.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "esc",
+    "html_page",
+    "html_table",
+    "section",
+    "validate_report_html",
+]
+
+#: The whole stylesheet, inline. Dark-on-light, table-heavy.
+_CSS = """\
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       margin: 2rem auto; max-width: 70rem; padding: 0 1rem;
+       color: #1a1a1a; background: #ffffff; line-height: 1.45; }
+h1 { border-bottom: 2px solid #0072B2; padding-bottom: .3rem; }
+h2 { margin-top: 2.2rem; border-bottom: 1px solid #d0d0d0; padding-bottom: .2rem; }
+h3 { margin-top: 1.4rem; color: #333; }
+table { border-collapse: collapse; margin: .8rem 0; font-size: .92rem; }
+caption { caption-side: top; text-align: left; font-weight: 600;
+          padding-bottom: .3rem; }
+th, td { border: 1px solid #c8c8c8; padding: .25rem .6rem; text-align: left; }
+th { background: #eef3f8; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.sig td { background: #eaf6ea; }
+figure { margin: 1rem 0; }
+figcaption { font-size: .85rem; color: #555; }
+code { background: #f4f4f4; padding: 0 .25rem; border-radius: 3px; }
+footer { margin-top: 3rem; border-top: 1px solid #d0d0d0; padding-top: .6rem;
+         font-size: .8rem; color: #666; }
+.note { color: #666; font-size: .88rem; }
+.warn { color: #8a3b00; }
+"""
+
+
+def esc(value) -> str:
+    """HTML-escape a value (everything user-derived goes through
+    here — algorithm names, workload keys, file paths)."""
+    return _html.escape(str(value), quote=True)
+
+
+def html_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    caption: str = "",
+    numeric: Sequence[int] = (),
+    highlight: Iterable[int] = (),
+) -> str:
+    """One ``<table>``. ``numeric`` lists right-aligned column indices;
+    ``highlight`` lists row indices rendered with the significance
+    background. Cell values are escaped — pre-built markup is not
+    accepted here by design."""
+    numeric = set(numeric)
+    highlight = set(highlight)
+    out = ["<table>"]
+    if caption:
+        out.append(f"<caption>{esc(caption)}</caption>")
+    out.append(
+        "<thead><tr>" + "".join(f"<th>{esc(h)}</th>" for h in headers)
+        + "</tr></thead>"
+    )
+    out.append("<tbody>")
+    for i, row in enumerate(rows):
+        cls = ' class="sig"' if i in highlight else ""
+        cells = "".join(
+            f'<td class="num">{esc(v)}</td>' if j in numeric else f"<td>{esc(v)}</td>"
+            for j, v in enumerate(row)
+        )
+        out.append(f"<tr{cls}>{cells}</tr>")
+    out.append("</tbody></table>")
+    return "\n".join(out)
+
+
+def section(title: str, *bodies: str, level: int = 2) -> str:
+    """A heading plus its pre-built body markup."""
+    tag = f"h{level}"
+    return f"<{tag}>{esc(title)}</{tag}>\n" + "\n".join(b for b in bodies if b)
+
+
+def html_page(title: str, body: str, *, generated_at: str) -> str:
+    """The full page shell around pre-built ``body`` markup. The
+    ``generated_at`` string lands in the single footer block — the only
+    place a timestamp is permitted on the page."""
+    return f"""<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{esc(title)}</title>
+<style>
+{_CSS}</style>
+</head>
+<body>
+<h1>{esc(title)}</h1>
+{body}
+<footer id="generated-at">Generated at: {esc(generated_at)}</footer>
+</body>
+</html>
+"""
+
+
+def validate_report_html(text: str) -> None:
+    """Structural gate on a generated report page; raises
+    :class:`~repro.errors.ConfigurationError` on the first violation.
+
+    Checks the self-containment contract (no scripts, no stylesheet
+    links, no external fetches), that at least one figure made it in,
+    and that the timestamp stayed confined to its single footer block.
+    """
+    problems = []
+    if not text.startswith("<!doctype html>"):
+        problems.append("missing <!doctype html> prologue")
+    if text.count("<style>") != 1:
+        problems.append("expected exactly one inline <style> block")
+    lowered = text.lower()
+    for forbidden, why in (
+        ("<script", "scripts are forbidden (report must be inert)"),
+        ("<link", "external stylesheets are forbidden (CSS must be inline)"),
+        ('src="http', "external resource fetch (src)"),
+        ("src='http", "external resource fetch (src)"),
+        ('href="http', "external hyperlink target (must be offline-viewable)"),
+        ("href='http", "external hyperlink target (must be offline-viewable)"),
+        ("url(http", "external CSS fetch"),
+        ("@import", "external CSS import"),
+    ):
+        if forbidden in lowered:
+            problems.append(why)
+    if "<svg" not in text:
+        problems.append("no embedded SVG figure found")
+    if text.count('id="generated-at"') != 1:
+        problems.append("expected exactly one generated-at footer block")
+    if "</html>" not in text:
+        problems.append("page is truncated (no </html>)")
+    if problems:
+        raise ConfigurationError(
+            "report HTML failed validation: " + "; ".join(problems)
+        )

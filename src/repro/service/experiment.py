@@ -239,12 +239,19 @@ class ExperimentService:
         return self.dispatcher.stats
 
     def summary(self) -> dict:
-        """Counts + the merged fingerprint of everything mapped so far."""
+        """Counts + the merged fingerprint of everything mapped so far.
+
+        ``run_keys`` (submission order) aligns ``merged.jsonl`` line
+        *i* with its service-wide run identity — the result store's
+        ingester reads them side by side, so rows keep their natural
+        key without the store having to re-derive workload hashes.
+        """
         payload = {
             "n_runs": len(self._order),
             "n_tasks": len(self.queue),
             "queue": self.queue.counts(),
             "service": self.stats.as_dict(),
+            "run_keys": list(self._order),
             "merged_fingerprint": self.measurer.merged_fingerprint(self._order),
         }
         if self.cache is not None:

@@ -1,0 +1,275 @@
+"""Tolerant ingestion of every result artifact the repo produces.
+
+``repro db ingest PATH...`` accepts, per path:
+
+* a **plain JSONL results file** — ``repro analyze --jsonl`` output or
+  any v1/v2/v3 rows (older rows go through the shared
+  :func:`~repro.telemetry.jsonl.migrate_row_strict` gate, the same
+  version policy as ``read_jsonl``);
+* a **service run dir** from the PR 8 experiment service — every
+  ``results-<wkey>.jsonl`` journal is read with its workload key taken
+  from the filename; ``merged.jsonl`` is aligned line-by-line with
+  ``summary.json``'s ``run_keys`` so rows keep their service-wide
+  natural key; ``service_timeline.json`` is registered as a Perfetto
+  trace link (journals and the merge carry the same rows, so dedup
+  collapses them — ingesting a finalized dir stores each run once);
+* a **bench trajectory file** (``BENCH_history.jsonl`` layout: entries
+  with a ``metrics`` dict and no per-run ``config``) — one store row
+  per (entry, metric) for the report's trajectory page;
+* a **Chrome/Perfetto trace JSON** — registered as a trace link.
+
+Robustness contract (the ingester reads files that may be mid-write by
+a live service, or hand-concatenated): a torn/corrupt line or a row
+under a foreign schema version is a *warned skip*, never an abort —
+one bad line must not discard the thousands of good rows around it.
+The per-file tallies come back in :class:`IngestReport` so callers
+(and CI) can assert exact insert/duplicate/skip counts.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SchemaVersionError
+from repro.store.db import ResultStore
+from repro.telemetry.jsonl import migrate_row_strict
+from repro.utils.serialization import _decode
+
+__all__ = ["IngestReport", "ingest_path", "ingest_paths"]
+
+
+@dataclass
+class IngestReport:
+    """What one ``ingest`` invocation did, per source file."""
+
+    inserted: int = 0       #: New run rows stored.
+    duplicates: int = 0     #: Rows whose content address was already stored.
+    skipped: int = 0        #: Torn/corrupt/foreign-schema lines (warned).
+    bench_entries: int = 0  #: New bench-history metric rows.
+    traces: int = 0         #: Trace artifacts registered.
+    files: list[str] = field(default_factory=list)
+
+    def merge(self, other: "IngestReport") -> None:
+        self.inserted += other.inserted
+        self.duplicates += other.duplicates
+        self.skipped += other.skipped
+        self.bench_entries += other.bench_entries
+        self.traces += other.traces
+        self.files.extend(other.files)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.inserted} inserted, {self.duplicates} duplicate, "
+            f"{self.skipped} skipped, {self.bench_entries} bench metrics, "
+            f"{self.traces} traces ({len(self.files)} files)"
+        )
+
+
+def _warn_skip(where: str, reason: str) -> None:
+    warnings.warn(f"ingest: skipping {where}: {reason}", stacklevel=3)
+
+
+def _iter_lines(path: Path):
+    """Yield ``(lineno, parsed-or-None, raw)`` per non-blank line; a
+    torn/corrupt line parses to None (callers warn + count it)."""
+    with path.open(encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield lineno, json.loads(line), line
+            except json.JSONDecodeError:
+                yield lineno, None, line
+
+
+def _ingest_result_file(
+    store: ResultStore,
+    path: Path,
+    *,
+    source: str,
+    workload: str | None = None,
+    run_keys: list[str] | None = None,
+) -> IngestReport:
+    """One JSONL file of run rows. ``run_keys`` (when given) aligns
+    line *i* (counting result rows, not file lines) with its service
+    run key."""
+    report = IngestReport(files=[str(path)])
+    row_index = 0
+    for lineno, payload, _ in _iter_lines(path):
+        where = f"{path}:{lineno}"
+        if payload is None:
+            _warn_skip(where, "torn or corrupt JSON line")
+            report.skipped += 1
+            continue
+        if not isinstance(payload, dict):
+            _warn_skip(where, "not a JSON object")
+            report.skipped += 1
+            continue
+        original_version = payload.get("schema_version")
+        try:
+            row = migrate_row_strict(_decode(payload), where=where)
+        except SchemaVersionError as exc:
+            _warn_skip(where, str(exc))
+            report.skipped += 1
+            continue
+        run_key = None
+        if run_keys is not None and row_index < len(run_keys):
+            run_key = run_keys[row_index]
+        row_index += 1
+        try:
+            fresh = store.insert_row(
+                row, source=source, workload=workload, run_key=run_key,
+                original_schema_version=original_version,
+            )
+        except ConfigurationError as exc:
+            _warn_skip(where, str(exc))
+            report.skipped += 1
+            continue
+        if fresh:
+            report.inserted += 1
+        else:
+            report.duplicates += 1
+    store.commit()
+    return report
+
+
+def _ingest_bench_history(store: ResultStore, path: Path) -> IngestReport:
+    report = IngestReport(files=[str(path)])
+    entry_index = 0
+    for lineno, payload, _ in _iter_lines(path):
+        where = f"{path}:{lineno}"
+        if payload is None:
+            _warn_skip(where, "torn or corrupt JSON line")
+            report.skipped += 1
+            continue
+        if not isinstance(payload, dict) or not isinstance(
+            payload.get("metrics"), dict
+        ):
+            _warn_skip(where, "not a bench trajectory entry")
+            report.skipped += 1
+            continue
+        report.bench_entries += store.insert_bench_entry(
+            payload, entry_index=entry_index
+        )
+        entry_index += 1
+    store.commit()
+    return report
+
+
+def _looks_like_bench_history(path: Path) -> bool:
+    """Bench trajectory entries carry ``metrics`` and no per-run
+    ``config`` — distinguishable from result rows on the first parsable
+    line (filename alone is not trusted: histories get copied around)."""
+    for _, payload, _ in _iter_lines(path):
+        if payload is None:
+            continue
+        if isinstance(payload, dict):
+            return "metrics" in payload and "config" not in payload
+        return False
+    return False
+
+
+def _service_run_keys(run_dir: Path) -> list[str] | None:
+    """``run_keys`` from a finalized service dir's summary.json (None
+    when absent/foreign — merged rows then store without run keys)."""
+    summary_path = run_dir / "summary.json"
+    if not summary_path.exists():
+        return None
+    try:
+        summary = json.loads(summary_path.read_text())
+    except json.JSONDecodeError:
+        return None
+    keys = summary.get("run_keys")
+    if isinstance(keys, list) and all(isinstance(k, str) for k in keys):
+        return keys
+    return None
+
+
+def _ingest_run_dir(store: ResultStore, run_dir: Path) -> IngestReport:
+    """A PR 8 service run dir: journals + merge + timeline trace."""
+    report = IngestReport()
+    merged = run_dir / "merged.jsonl"
+    if merged.exists():
+        # Merged first: its rows carry summary.json's run_keys, so the
+        # content-addressed row lands with its natural key attached and
+        # the per-workload journal copies dedup against it below.
+        report.merge(
+            _ingest_result_file(
+                store,
+                merged,
+                source=f"service:{run_dir.name}",
+                run_keys=_service_run_keys(run_dir),
+            )
+        )
+    journals = sorted(run_dir.glob("results-*.jsonl"))
+    for journal in journals:
+        wkey = journal.name[len("results-") : -len(".jsonl")]
+        report.merge(
+            _ingest_result_file(
+                store, journal, source=f"service:{run_dir.name}", workload=wkey
+            )
+        )
+    timeline = run_dir / "service_timeline.json"
+    if timeline.exists():
+        if store.insert_trace(
+            timeline, kind="service_timeline", run_dir=str(run_dir)
+        ):
+            report.traces += 1
+        report.files.append(str(timeline))
+    if not report.files:
+        raise ConfigurationError(
+            f"{run_dir} has no results-*.jsonl, merged.jsonl or "
+            "service_timeline.json — not a service run dir"
+        )
+    store.commit()
+    return report
+
+
+def _is_service_run_dir(path: Path) -> bool:
+    return (
+        any(path.glob("results-*.jsonl"))
+        or (path / "merged.jsonl").exists()
+        or (path / "queue.jsonl").exists()
+    )
+
+
+def _ingest_trace_file(store: ResultStore, path: Path) -> IngestReport:
+    report = IngestReport(files=[str(path)])
+    if store.insert_trace(path, kind="chrome_trace"):
+        report.traces += 1
+    store.commit()
+    return report
+
+
+def ingest_path(store: ResultStore, path: str | Path) -> IngestReport:
+    """Ingest one artifact (file or service run dir) — see the module
+    docstring for the dispatch rules."""
+    path = Path(path)
+    if path.is_dir():
+        if _is_service_run_dir(path):
+            return _ingest_run_dir(store, path)
+        raise ConfigurationError(
+            f"{path} is a directory but not a service run dir "
+            "(no results-*.jsonl / merged.jsonl / queue.jsonl)"
+        )
+    if not path.exists():
+        raise ConfigurationError(f"{path}: no such file")
+    if path.suffix == ".json":
+        # Chrome/Perfetto traces are the only single-JSON artifacts the
+        # store records; everything row-shaped is JSONL.
+        return _ingest_trace_file(store, path)
+    if _looks_like_bench_history(path):
+        return _ingest_bench_history(store, path)
+    return _ingest_result_file(store, path, source=path.name)
+
+
+def ingest_paths(store: ResultStore, paths) -> IngestReport:
+    """Ingest several artifacts into one store; tallies are merged."""
+    report = IngestReport()
+    for path in paths:
+        report.merge(ingest_path(store, path))
+    return report

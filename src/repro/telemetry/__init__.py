@@ -27,7 +27,13 @@ afterthought. This package provides the three layers:
 """
 
 from repro.telemetry.bus import EVENTS, ProbeBus
-from repro.telemetry.jsonl import migrate_row, read_jsonl, result_to_line, write_jsonl
+from repro.telemetry.jsonl import (
+    migrate_row,
+    migrate_row_strict,
+    read_jsonl,
+    result_to_line,
+    write_jsonl,
+)
 from repro.telemetry.metrics import (
     SCHEMA_VERSION,
     RunMetrics,
@@ -69,5 +75,6 @@ __all__ = [
     "result_to_line",
     "write_jsonl",
     "migrate_row",
+    "migrate_row_strict",
     "nan_wall_phases",
 ]

@@ -71,6 +71,21 @@ def migrate_row(row: dict) -> dict:
     return row
 
 
+def migrate_row_strict(row: dict, *, where: str = "<row>") -> dict:
+    """:func:`migrate_row`, but rows written under a **newer or
+    missing** schema raise :class:`~repro.errors.SchemaVersionError`
+    instead of passing through unmigrated. ``where`` labels the error
+    (``path:lineno`` for file readers). This is the shared version gate
+    of :func:`read_jsonl` and the result-store ingester."""
+    version = row.get("schema_version")
+    if version is None or version > SCHEMA_VERSION:
+        raise SchemaVersionError(
+            f"{where}: schema_version {version!r} not supported "
+            f"(this build reads <= {SCHEMA_VERSION})"
+        )
+    return migrate_row(row)
+
+
 def read_jsonl(path: str | Path, *, strict: bool = True) -> list[dict]:
     """Read runs back as plain dicts (arrays/NaN restored).
 
@@ -87,14 +102,11 @@ def read_jsonl(path: str | Path, *, strict: bool = True) -> list[dict]:
             if not line:
                 continue
             row = _decode(json.loads(line))
-            version = row.get("schema_version")
-            if version is None or version > SCHEMA_VERSION:
-                if strict:
-                    raise SchemaVersionError(
-                        f"{path}:{lineno}: schema_version {version!r} not supported "
-                        f"(this build reads <= {SCHEMA_VERSION})"
-                    )
+            if strict:
+                row = migrate_row_strict(row, where=f"{path}:{lineno}")
             else:
-                row = migrate_row(row)
+                version = row.get("schema_version")
+                if version is not None and version <= SCHEMA_VERSION:
+                    row = migrate_row(row)
             out.append(row)
     return out

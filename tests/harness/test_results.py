@@ -7,6 +7,7 @@ import pytest
 
 from repro.harness.results import (
     convergence_boxes,
+    failure_breakdown,
     failure_counts,
     group_by,
     median_progress_curve,
@@ -74,6 +75,20 @@ class TestBoxes:
         counts = failure_counts(mixed_results)
         assert counts["HOG"] == (2, 0)
         assert counts["ASYNC"] == (0, 0)
+
+    def test_failure_breakdown_splits_stopped_from_diverged(self, mixed_results):
+        breakdown = failure_breakdown(mixed_results)
+        assert list(breakdown) == sorted(breakdown)  # deterministic order
+        assert breakdown["ASYNC"] == {
+            "converged": 2, "diverged": 0, "stopped": 0, "crashed": 0,
+        }
+        hog = breakdown["HOG"]
+        assert hog["converged"] == 0 and hog["crashed"] == 0
+        # The budget-capped runs land in exactly one of the two classes
+        # failure_counts pools together — and the split is visible.
+        assert hog["diverged"] + hog["stopped"] == 2
+        pooled, _ = failure_counts(mixed_results)["HOG"]
+        assert pooled == hog["diverged"] + hog["stopped"]
 
 
 class TestCurves:

@@ -15,6 +15,7 @@ from repro.observe.bench_history import (
     check_regressions,
     extract_headlines,
     load_history,
+    provenance_mismatches,
     render_report,
     unrecognized_bench_files,
 )
@@ -61,6 +62,22 @@ class TestExtraction:
         (tmp_path / "BENCH_mystery.json").write_text("{}")
         assert unrecognized_bench_files(tmp_path) == ["BENCH_mystery.json"]
 
+    def test_report_benchmark_headlines(self, tmp_path):
+        (tmp_path / "BENCH_report.json").write_text(json.dumps({
+            "report": {"ingest_rows_per_sec": 500.0, "build_latency_s": 0.2},
+        }))
+        metrics = extract_headlines(tmp_path)
+        assert metrics["report.ingest_rows_per_sec"] == 500.0
+        assert metrics["report.build_latency_s"] == 0.2
+        assert unrecognized_bench_files(tmp_path) == []
+
+    def test_report_build_latency_gates_lower_is_better(self):
+        previous = {"report.build_latency_s": 0.2}
+        slower = {"report.build_latency_s": 0.4}
+        assert check_regressions(slower, previous, max_drop=0.15)
+        faster = {"report.build_latency_s": 0.1}
+        assert check_regressions(faster, previous, max_drop=0.15) == []
+
 
 class TestHistory:
     def test_append_load_round_trip(self, tmp_path):
@@ -74,6 +91,42 @@ class TestHistory:
 
     def test_missing_history_is_empty(self, tmp_path):
         assert load_history(tmp_path / "none.jsonl") == []
+
+
+class TestProvenanceMismatches:
+    def test_differing_keys_flag(self):
+        current = {"hostname": "new-box", "cpu_count": 8, "pool_mode": "fork"}
+        previous = {"hostname": "old-box", "cpu_count": 4, "pool_mode": "fork"}
+        messages = provenance_mismatches(current, previous)
+        assert len(messages) == 2
+        assert any("hostname" in m for m in messages)
+        assert any("cpu_count" in m for m in messages)
+        assert not any("pool_mode" in m for m in messages)
+
+    def test_message_shows_both_values(self):
+        (message,) = provenance_mismatches(
+            {"pool_mode": "serial"}, {"pool_mode": "fork"}
+        )
+        assert "'fork'" in message and "'serial'" in message
+
+    def test_absent_keys_never_flag(self):
+        # Older entries predate some manifest fields; richer provenance
+        # on only one side must not be punished.
+        assert provenance_mismatches({"hostname": "h", "cpu_count": 8}, {}) == []
+        assert provenance_mismatches({}, {"hostname": "h"}) == []
+        assert provenance_mismatches(
+            {"hostname": "h"}, {"cpu_count": 8}
+        ) == []
+
+    def test_identical_manifests_are_comparable(self):
+        manifest = {"hostname": "h", "cpu_count": 8, "pool_mode": "fork"}
+        assert provenance_mismatches(manifest, dict(manifest)) == []
+
+    def test_non_comparability_keys_ignored(self):
+        assert provenance_mismatches(
+            {"git_sha": "abc", "hostname": "h"},
+            {"git_sha": "def", "hostname": "h"},
+        ) == []
 
 
 class TestGate:
@@ -139,3 +192,25 @@ class TestCli:
         assert cli_main(["bench-history", "--bench-dir", str(tmp_path), "--record"]) == 0
         write_bench_files(tmp_path, overhead=0.04)
         assert cli_main(["bench-history", "--bench-dir", str(tmp_path)]) == 1
+
+    def test_foreign_provenance_warns_but_does_not_gate(self, tmp_path, capsys):
+        """Comparing against an entry recorded elsewhere prints a
+        comparability warning without changing the gate verdict."""
+        write_bench_files(tmp_path)
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path), "--record"]) == 0
+        history = tmp_path / "BENCH_history.jsonl"
+        entries = [json.loads(line) for line in history.read_text().splitlines()]
+        entries[-1]["provenance"]["hostname"] = "some-other-machine"
+        history.write_text("".join(json.dumps(e) + "\n" for e in entries))
+        capsys.readouterr()
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench-history: WARNING" in out
+        assert "hostname" in out
+
+    def test_same_host_comparison_has_no_warning(self, tmp_path, capsys):
+        write_bench_files(tmp_path)
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path), "--record"]) == 0
+        capsys.readouterr()
+        assert cli_main(["bench-history", "--bench-dir", str(tmp_path)]) == 0
+        assert "WARNING" not in capsys.readouterr().out

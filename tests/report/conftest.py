@@ -1,0 +1,3 @@
+"""Report-layer fixtures: reuse the store suite's session-scoped sweep."""
+
+from tests.store.conftest import sweep_jsonl, sweep_results  # noqa: F401

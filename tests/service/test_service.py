@@ -83,6 +83,10 @@ class TestDurableMode:
         assert stored["merged_fingerprint"] == summary["merged_fingerprint"]
         assert stored["n_runs"] == 2
         assert stored["queue"]["DONE"] == 1
+        # run_keys align 1:1 with merged.jsonl lines (the store's
+        # ingester relies on this to attach natural keys).
+        assert len(stored["run_keys"]) == 2
+        assert all(":" in key for key in stored["run_keys"])
 
     def test_resume_executes_nothing_when_complete(self, tmp_path, problem,
                                                    cost):

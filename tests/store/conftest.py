@@ -1,0 +1,37 @@
+"""Shared fixtures for the result-store tests: one small two-algorithm
+sweep, run once per session and reused by every store/report test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.grid import SweepGrid
+from repro.telemetry.jsonl import write_jsonl
+
+from tests.conftest import make_run_config  # noqa: F401  (re-exported)
+
+
+@pytest.fixture(scope="session")
+def sweep_results():
+    """8 converged runs: {ASYNC, HOG} x m=4 x eta=0.05 x 4 seeds."""
+    from repro.core.problem import QuadraticProblem
+    from repro.sim.cost import CostModel
+
+    grid = SweepGrid(
+        algorithms=("ASYNC", "HOG"),
+        thread_counts=(4,),
+        etas=(0.05,),
+        repeats=4,
+        seed=7,
+        epsilons=(0.5, 0.1),
+        max_wall_seconds=30.0,
+    )
+    return grid.run(
+        QuadraticProblem(32, h=1.0, b=1.5, noise_sigma=0.05),
+        CostModel(tc=2e-3, tu=1e-3, t_copy=0.5e-3),
+    )
+
+
+@pytest.fixture
+def sweep_jsonl(sweep_results, tmp_path):
+    return write_jsonl(sweep_results, tmp_path / "sweep.jsonl")

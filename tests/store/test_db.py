@@ -1,0 +1,139 @@
+"""Tests for the SQLite result store: content addressing, dedup
+semantics, and the typed query API."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.store import FailureCounts, GroupKey, ResultStore, ingest_path, row_digest
+from repro.telemetry.jsonl import read_jsonl
+
+
+@pytest.fixture
+def store(sweep_jsonl):
+    with ResultStore(":memory:") as s:
+        ingest_path(s, sweep_jsonl)
+        yield s
+
+
+class TestRowDigest:
+    def test_stable_across_encode_decode(self, sweep_jsonl):
+        (row,) = read_jsonl(sweep_jsonl)[:1]
+        assert row_digest(row) == row_digest(dict(row))
+
+    def test_wall_clock_fields_excluded(self, sweep_jsonl):
+        # Re-running the same config costs different wall time but is
+        # the same sample — the address must not move.
+        (row,) = read_jsonl(sweep_jsonl)[:1]
+        jittered = dict(row)
+        jittered["wall_seconds"] = 123.456
+        jittered["profile"] = {"totals": {"simulate": 9.9}}
+        assert row_digest(jittered) == row_digest(row)
+
+    def test_provenance_included(self, sweep_jsonl):
+        # Same config from a different tree/host is a *new* sample.
+        (row,) = read_jsonl(sweep_jsonl)[:1]
+        foreign = dict(row)
+        foreign["provenance"] = {**(row.get("provenance") or {}),
+                                 "hostname": "elsewhere"}
+        assert row_digest(foreign) != row_digest(row)
+
+    def test_simulation_fields_included(self, sweep_jsonl):
+        (row,) = read_jsonl(sweep_jsonl)[:1]
+        changed = dict(row)
+        changed["n_updates"] = int(row["n_updates"]) + 1
+        assert row_digest(changed) != row_digest(row)
+
+
+class TestInsert:
+    def test_reinsert_is_noop(self, store, sweep_jsonl):
+        before = store.count()
+        for row in read_jsonl(sweep_jsonl):
+            assert store.insert_row(row, source="again") is False
+        assert store.count() == before
+
+    def test_rejects_non_result_rows(self, store):
+        with pytest.raises(ConfigurationError, match="config/report"):
+            store.insert_row({"n_updates": 3}, source="junk")
+
+    def test_nan_stored_as_null(self, store):
+        # HOGWILD is lock-free: mean_lock_wait is NaN in the row, and
+        # sqlite must see NULL, not a poisoned float.
+        rows = store._conn.execute(
+            "SELECT mean_lock_wait FROM runs WHERE algorithm = 'HOG'"
+        ).fetchall()
+        assert rows and all(v is None for (v,) in rows)
+
+    def test_run_key_backfill_on_duplicate(self, store, sweep_jsonl):
+        (row,) = read_jsonl(sweep_jsonl)[:1]
+        assert store.insert_row(row, source="x", run_key="wk:abc") is False
+        keys = [k for (k,) in store._conn.execute(
+            "SELECT run_key FROM runs WHERE run_key IS NOT NULL")]
+        assert keys == ["wk:abc"]
+
+
+class TestQueries:
+    def test_counts_and_enums(self, store):
+        assert store.count() == 8
+        assert store.algorithms() == ["ASYNC", "HOG"]
+        assert store.epsilons() == [0.1, 0.5]
+        assert store.default_epsilon() == 0.1
+
+    def test_group_keys(self, store):
+        assert store.group_keys() == [
+            GroupKey(algorithm="ASYNC", m=4, eta=0.05),
+            GroupKey(algorithm="HOG", m=4, eta=0.05),
+        ]
+
+    def test_group_stats_times(self, store, sweep_results):
+        groups = {g.key.algorithm: g for g in store.group_stats(0.1)}
+        for algorithm in ("ASYNC", "HOG"):
+            want = sorted(
+                r.time_to(0.1) for r in sweep_results
+                if r.config.algorithm == algorithm
+            )
+            got = sorted(groups[algorithm].times)
+            assert got == pytest.approx(want)
+            assert all(math.isfinite(t) for t in got)
+
+    def test_failure_counts_all_converged(self, store):
+        assert store.failure_counts() == {
+            "ASYNC": FailureCounts(converged=4),
+            "HOG": FailureCounts(converged=4),
+        }
+
+    def test_aggregates_sorted_per_algorithm(self, store):
+        aggs = store.aggregates()
+        assert [a["algorithm"] for a in aggs] == ["ASYNC", "HOG"]
+        for agg in aggs:
+            assert agg["n_runs"] == 4
+            assert agg["kernel_fallbacks"] == 0
+            assert agg["mean_staleness"] > 0
+
+    def test_run_rows_round_trip(self, store):
+        rows = list(store.run_rows(algorithm="HOG"))
+        assert len(rows) == 4
+        for row in rows:
+            assert row["config"]["algorithm"] == "HOG"
+            assert "report" in row and "threshold_times" in row["report"]
+
+    def test_default_epsilon_empty_store(self):
+        with ResultStore(":memory:") as empty:
+            assert empty.default_epsilon() is None
+            assert empty.group_stats(0.1) == []
+
+
+class TestPersistence:
+    def test_on_disk_store_survives_reopen(self, sweep_jsonl, tmp_path):
+        db = tmp_path / "results.sqlite"
+        with ResultStore(db) as store:
+            ingest_path(store, sweep_jsonl)
+        with ResultStore(db) as store:
+            assert store.count() == 8
+            # ... and the dedup index survives with it.
+            report = ingest_path(store, sweep_jsonl)
+            assert report.inserted == 0
+            assert report.duplicates == 8

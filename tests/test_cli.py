@@ -10,6 +10,8 @@ import pytest
 from repro.cli import main
 from repro.utils.serialization import load_results, result_to_dict, save_results
 
+from tests.store.conftest import sweep_jsonl, sweep_results  # noqa: F401
+
 
 class TestCliRun:
     def test_run_quadratic_converges(self, capsys):
@@ -71,6 +73,13 @@ class TestCliAnalyze:
         out = capsys.readouterr().out
         assert code == 0
         assert "measured steady-state" in out
+
+    def test_analyze_multi_run_prints_outcomes_table(self, sweep_jsonl, capsys):
+        code = main(["analyze", "--from-jsonl", str(sweep_jsonl)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run outcomes" in out
+        assert "STOPPED = budget cap" in out
 
     def test_analyze_smoke_gate(self, capsys):
         # The CI configuration: deterministic, must sit within tolerance
@@ -172,3 +181,40 @@ class TestCliReport:
         assert code == 0
         text = out.read_text()
         assert "regenerated stuff" in text and "S1/Fig3" in text
+
+
+class TestCliDb:
+    def test_ingest_is_idempotent(self, sweep_jsonl, tmp_path, capsys):
+        db = tmp_path / "results.sqlite"
+        assert main(["db", "ingest", str(sweep_jsonl), "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "8 inserted, 0 duplicate" in out
+        assert "8 runs total" in out
+        assert main(["db", "ingest", str(sweep_jsonl), "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "0 inserted, 8 duplicate" in out
+        assert "8 runs total" in out
+
+    def test_stats_summarizes_store(self, sweep_jsonl, tmp_path, capsys):
+        db = tmp_path / "results.sqlite"
+        main(["db", "ingest", str(sweep_jsonl), "--db", str(db)])
+        capsys.readouterr()
+        assert main(["db", "stats", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "algorithms" in out
+        assert "ASYNC" in out and "HOG" in out
+        assert "run outcomes" in out
+
+    def test_report_from_db(self, sweep_jsonl, tmp_path, capsys):
+        from repro.report import validate_report_html
+
+        db = tmp_path / "results.sqlite"
+        main(["db", "ingest", str(sweep_jsonl), "--db", str(db)])
+        out = tmp_path / "section5.html"
+        code = main(["report", "--db", str(db), "--out", str(out),
+                     "--generated-at", "PINNED"])
+        assert code == 0
+        page = out.read_text(encoding="utf-8")
+        validate_report_html(page)
+        assert "Mann-Whitney" in page
+        assert "PINNED" in page
